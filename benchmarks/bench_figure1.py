@@ -1,0 +1,16 @@
+"""Benchmark/regeneration of Figure 1 — the four switch organizations."""
+
+from repro.experiments import figure1
+
+
+def test_figure1_structures(run_once):
+    result = run_once(figure1.run)
+    print()
+    print(result.render())
+    facts = result.data["facts"]
+    # The structural contrasts the figure is drawn to show:
+    assert facts["SAFC"]["fabric"] != facts["SAMQ"]["fabric"]
+    assert (
+        facts["DAMQ"]["slots_usable_by_one_destination"]
+        > facts["SAMQ"]["slots_usable_by_one_destination"]
+    )

@@ -1,0 +1,21 @@
+"""Benchmark/regeneration of Figure 3 — FIFO vs DAMQ latency curves.
+
+Paper shape: both curves flat then vertical; DAMQ's wall well to the
+right of FIFO's.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3_curves(run_once):
+    result = run_once(figure3.run, quick=True)
+    print()
+    print(result.render())
+    curves = result.data["curves"]
+    fifo_max = max(p.delivered_throughput for p in curves["FIFO"])
+    damq_max = max(p.delivered_throughput for p in curves["DAMQ"])
+    assert damq_max > fifo_max * 1.2
+    # The knee: latency at the last point far above the unloaded latency.
+    fifo_unloaded = curves["FIFO"][0].average_latency
+    fifo_saturated = curves["FIFO"][-1].average_latency
+    assert fifo_saturated > 2 * fifo_unloaded

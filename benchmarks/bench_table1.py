@@ -1,0 +1,13 @@
+"""Benchmark/regeneration of Table 1 — virtual cut-through in 4 cycles.
+
+Paper row: start bit in at cycle 0, start bit out at cycle 4.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_cut_through(run_once):
+    result = run_once(table1.run, quick=True)
+    print()
+    print(result.render())
+    assert result.data["turnaround"] == 4

@@ -1,0 +1,19 @@
+"""Benchmark/regeneration of Table 3 — discarding Omega network.
+
+Paper shape: DAMQ discards least by a wide margin; dumb ≈ smart at 0.50;
+DAMQ has the best over-capacity output throughput.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_discarding_network(run_once):
+    result = run_once(table3.run, quick=True)
+    print()
+    print(result.render())
+    rows = result.data["rows"]
+    damq = rows["DAMQ"]
+    for kind in ("FIFO", "SAMQ", "SAFC"):
+        assert damq["smart_50_discard"] < rows[kind]["smart_50_discard"]
+        assert damq["over_delivered"] > rows[kind]["over_delivered"]
+    assert abs(damq["smart_50_discard"] - damq["dumb_50_discard"]) < 2.0

@@ -1,0 +1,21 @@
+"""Benchmark/regeneration of Table 4 — latency vs throughput, 4 slots.
+
+Paper shape: DAMQ saturation ~40% above FIFO; near-identical latencies
+below 0.40; FIFO saturates near 0.51.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_latency_and_saturation(run_once):
+    result = run_once(table4.run, quick=True)
+    print()
+    print(result.render())
+    rows = result.data["rows"]
+    assert result.data["damq_over_fifo"] > 1.30
+    assert rows["DAMQ"]["saturation_throughput"] == max(
+        row["saturation_throughput"] for row in rows.values()
+    )
+    # Sub-saturation latencies nearly indistinguishable at 0.25.
+    lows = [row["latencies"][0.25] for row in rows.values()]
+    assert max(lows) - min(lows) < 10.0

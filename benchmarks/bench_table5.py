@@ -1,0 +1,26 @@
+"""Benchmark/regeneration of Table 5 — varying slots per buffer.
+
+Paper shape: DAMQ with 3 slots saturates above FIFO with 8; extra DAMQ
+slots buy little.
+"""
+
+from repro.experiments import table5
+
+
+def test_table5_slot_sweep(run_once):
+    result = run_once(table5.run, quick=True)
+    print()
+    print(result.render())
+    rows = result.data["rows"]
+    slot_counts = sorted({slots for _kind, slots in rows})
+    smallest, largest = slot_counts[0], slot_counts[-1]
+    assert (
+        rows[("DAMQ", smallest)]["saturation_throughput"]
+        > rows[("FIFO", largest)]["saturation_throughput"]
+    )
+    # FIFO gains visibly from extra slots; DAMQ does not need them as much.
+    fifo_gain = (
+        rows[("FIFO", largest)]["saturation_throughput"]
+        - rows[("FIFO", smallest)]["saturation_throughput"]
+    )
+    assert fifo_gain > -0.02

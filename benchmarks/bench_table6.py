@@ -1,0 +1,18 @@
+"""Benchmark/regeneration of Table 6 — 5% hot-spot traffic.
+
+Paper shape: every architecture tree-saturates together just under 0.25;
+buffer structure does not matter for hot spots.
+"""
+
+from repro.experiments import table6
+
+
+def test_table6_hotspot(run_once):
+    result = run_once(table6.run, quick=True)
+    print()
+    print(result.render())
+    rows = result.data["rows"]
+    throughputs = [row["saturation_throughput"] for row in rows.values()]
+    assert result.data["saturation_spread"] < 0.05
+    for value in throughputs:
+        assert 0.12 < value < 0.32

@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one benchmark that *regenerates* it (in quick
+mode) and prints the resulting rows, so ``pytest benchmarks/
+--benchmark-only`` both times the reproduction pipeline and shows the
+numbers next to the paper's.  Simulation-backed experiments are expensive,
+so each benchmark runs a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark clock and return its
+    result (pytest-benchmark's pedantic mode)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+
+    return runner

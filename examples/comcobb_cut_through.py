@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Watching a packet cut through a ComCoBB chip, cycle by cycle.
+
+Reproduces Table 1 of the paper live: a packet's start bit arrives at an
+idle input port in cycle 0 and its start bit leaves the chip in cycle 4 —
+while the packet's tail is still streaming in.  The full component trace
+(synchronizer release, router lookup, length decode, crossbar grant,
+slot recycling) is printed.
+
+Run:  python examples/comcobb_cut_through.py
+"""
+
+from repro.chip import ChipNetwork, TraceRecorder
+
+
+def main() -> None:
+    trace = TraceRecorder()
+    network = ChipNetwork(trace=trace)
+    network.add_node("left")
+    network.add_node("right")
+    network.connect("left", 0, "right", 0)
+    circuit = network.open_circuit(["left", "right"])
+
+    payload = bytes(f"cut-through demo payload {'x' * 20}", "ascii")
+    packets = network.send(circuit, payload)
+    print(f"sending a {len(payload)}-byte message as {packets} packets "
+          f"over circuit header {circuit.header}\n")
+    network.run_until_idle()
+
+    print("full trace (both chips):")
+    print(trace.render())
+
+    turnarounds = [
+        event for event in trace.filter(contains="turnaround")
+    ]
+    print("\nper-packet, per-chip turnaround (start-bit in -> start-bit out):")
+    for event in turnarounds:
+        print(f"  {event.component}: {event.action}")
+
+    message = network.nodes["right"].host.received_messages[0]
+    print(
+        f"\nmessage delivered intact: {message.payload == payload} "
+        f"({message.packet_count} packets, completed at cycle "
+        f"{message.completed_cycle})"
+    )
+    print(
+        "\nEvery turnaround reads 4 cycles: the paper's Table 1 schedule.\n"
+        "Note the receive pipeline (cycle 2: routed; cycle 3: length) and "
+        "the transmit pipeline overlapping on the same buffer slot."
+    )
+
+
+if __name__ == "__main__":
+    main()

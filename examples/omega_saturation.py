@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Figure-3-style sweep: where does each buffer architecture saturate?
+
+Runs the 64×64 Omega network at increasing offered load for all four
+buffer architectures (shortened windows so the sweep finishes in a couple
+of minutes) and prints the latency/throughput curve plus each
+architecture's saturation point — a compact rendition of the paper's
+whole Section 4.2 evaluation.
+
+Run:  python examples/omega_saturation.py [--fast]
+"""
+
+import argparse
+
+from repro import NetworkConfig, measure_saturation, simulate
+from repro.switch.flow_control import Protocol
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="fewer load points, shorter runs"
+    )
+    args = parser.parse_args()
+    warmup, measure = (150, 600) if args.fast else (400, 1600)
+    loads = (0.3, 0.5, 0.7) if args.fast else (0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+
+    base = NetworkConfig(
+        slots_per_buffer=4,
+        protocol=Protocol.BLOCKING,
+        arbiter_kind="smart",
+        traffic_kind="uniform",
+    )
+    table = TextTable(
+        "Latency (clock cycles) by offered load — 64x64 Omega, 4 slots",
+        ["Buffer"] + [f"@{load}" for load in loads] + ["saturation"],
+    )
+    for kind in ("FIFO", "SAMQ", "SAFC", "DAMQ"):
+        config = base.with_overrides(buffer_kind=kind)
+        cells = []
+        for load in loads:
+            result = simulate(
+                config.with_overrides(offered_load=load), warmup, measure
+            )
+            cells.append(f"{result.average_latency:.1f}")
+        saturation = measure_saturation(config, warmup, measure)
+        cells.append(f"{saturation.saturation_throughput:.2f}")
+        table.add_row([kind] + cells)
+        print(f"  ({kind} done)")
+    print()
+    print(table.render())
+    print(
+        "\nThe DAMQ column saturates well above the others — the paper's "
+        "forty-percent headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

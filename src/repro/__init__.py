@@ -1,0 +1,76 @@
+"""Reproduction of Tamir & Frazier, *High-Performance Multi-Queue Buffers
+for VLSI Communication Switches* (ISCA 1988).
+
+Public API highlights
+---------------------
+* :mod:`repro.core` — the DAMQ buffer and its FIFO/SAMQ/SAFC baselines.
+* :mod:`repro.switch` — n×n switches, crossbar arbiters, flow control.
+* :mod:`repro.network` — the 64×64 Omega-network evaluation substrate.
+* :mod:`repro.markov` — exact Markov analysis of 2×2 discarding switches.
+* :mod:`repro.chip` — cycle-accurate ComCoBB DAMQ micro-architecture.
+* :mod:`repro.experiments` — regenerates every table and figure.
+"""
+
+from repro.core import (
+    DamqBuffer,
+    FifoBuffer,
+    Message,
+    Packet,
+    PacketFactory,
+    SafcBuffer,
+    SamqBuffer,
+    SlotListManager,
+    SwitchBuffer,
+    make_buffer,
+)
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+from repro.network import (
+    NetworkConfig,
+    OmegaNetworkSimulator,
+    OmegaTopology,
+    latency_throughput_curve,
+    measure_saturation,
+    simulate,
+)
+from repro.switch import CrossbarArbiter, Protocol, Switch, make_arbiter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferEmptyError",
+    "BufferFullError",
+    "ConfigurationError",
+    "CrossbarArbiter",
+    "DamqBuffer",
+    "FifoBuffer",
+    "Message",
+    "NetworkConfig",
+    "OmegaNetworkSimulator",
+    "OmegaTopology",
+    "Packet",
+    "PacketFactory",
+    "Protocol",
+    "ProtocolError",
+    "ReproError",
+    "RoutingError",
+    "SafcBuffer",
+    "SamqBuffer",
+    "SimulationError",
+    "SlotListManager",
+    "Switch",
+    "SwitchBuffer",
+    "__version__",
+    "latency_throughput_curve",
+    "make_arbiter",
+    "make_buffer",
+    "measure_saturation",
+    "simulate",
+]

@@ -1,0 +1,90 @@
+"""The chip's central crossbar arbiter (Section 3.2.2).
+
+"The crossbar is controlled by a central arbiter which determines which
+buffers are to be connected to which output ports ... based upon data it
+receives from each of the buffers, so that a buffer is never connected to
+a port to which it has no data."
+
+Each cycle, for every idle output port whose downstream receiver has not
+asserted flow control, the arbiter considers the buffers holding a
+transmittable head packet for that port (length register loaded, read port
+free) and grants the longest queue; stale counts break ties in favour of
+queues that have waited longest, and a rotating priority breaks the rest.
+A grant made in cycle ``t`` results in a start bit on the wire in cycle
+``t + 1`` — the latch/drive pipeline of :class:`OutputPort` — which is the
+Table 1 schedule (arbitration latched in cycle 3, start bit in cycle 4).
+"""
+
+from __future__ import annotations
+
+from repro.chip.output_port import OutputPort
+from repro.chip.slots import DamqBufferHw
+from repro.chip.trace import TraceRecorder
+
+__all__ = ["ChipArbiter"]
+
+
+class ChipArbiter:
+    """Longest-queue, stale-count-fair crossbar arbiter for one chip."""
+
+    def __init__(
+        self,
+        chip_name: str,
+        num_ports: int,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.chip_name = chip_name
+        self.num_ports = num_ports
+        self.trace = trace
+        self._stale = [[0] * num_ports for _ in range(num_ports)]
+        self._priority = 0
+        self.grants_made = 0
+
+    def tick(
+        self,
+        cycle: int,
+        buffers: list[DamqBufferHw],
+        output_ports: list[OutputPort],
+    ) -> None:
+        """Grant idle output ports to requesting buffers."""
+        granted_buffers: set[int] = set()
+        for offset in range(self.num_ports):
+            output_id = (self._priority + offset) % self.num_ports
+            port = output_ports[output_id]
+            if port.busy or port.downstream_stopped:
+                continue
+            best_input = None
+            best_key = None
+            for input_id, buffer in enumerate(buffers):
+                if input_id == output_id or input_id in granted_buffers:
+                    continue
+                if not buffer.transmittable(output_id):
+                    continue
+                key = (
+                    buffer.queue_length(output_id),
+                    self._stale[input_id][output_id],
+                    -input_id,
+                )
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_input = input_id
+            if best_input is None:
+                continue
+            buffer = buffers[best_input]
+            packet = buffer.head_packet(output_id)
+            assert packet is not None
+            port.grant(buffer, packet, cycle)
+            granted_buffers.add(best_input)
+            self._stale[best_input][output_id] = 0
+            self.grants_made += 1
+        self._age_queues(buffers)
+        self._priority = (self._priority + 1) % self.num_ports
+
+    def _age_queues(self, buffers: list[DamqBufferHw]) -> None:
+        """Increment stale counts of waiting, unserved queues."""
+        for input_id, buffer in enumerate(buffers):
+            for output_id in range(self.num_ports):
+                if buffer.queue_length(output_id) > 0:
+                    self._stale[input_id][output_id] += 1
+                else:
+                    self._stale[input_id][output_id] = 0

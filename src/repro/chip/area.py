@@ -1,0 +1,146 @@
+"""Slot-size tradeoff model (Section 3.2.3).
+
+The paper's designers weighed slot sizes before settling on eight bytes:
+
+* *small slots* waste little storage to internal fragmentation but need a
+  pointer/length/header register per slot ("because any slot can be the
+  first slot of a packet") and more pointer manipulation per byte moved;
+* *large slots* amortize the registers but strand unused bytes — a
+  four-byte packet in a 32-byte slot wastes twenty-eight bytes.
+
+This module quantifies both sides for any slot size and packet-length
+distribution: register bits per buffered data byte, expected internal
+fragmentation, pointer operations per packet, and the resulting *effective
+capacity* of a fixed byte budget.  The accompanying ablation benchmark
+then confirms the static model against the byte-level chip simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.chip.slots import MAX_PACKET_BYTES
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SlotSizeEstimate",
+    "estimate_slot_size",
+    "slot_size_sweep",
+    "uniform_length_distribution",
+]
+
+#: Register widths, in bits, following the micro-architecture of Sec. 3.1:
+#: a length register must count up to 32 and a header register holds one
+#: byte.  The pointer register needs log2(num_slots) bits (computed).
+LENGTH_REGISTER_BITS = 6
+HEADER_REGISTER_BITS = 8
+
+
+def uniform_length_distribution(
+    low: int = 1, high: int = MAX_PACKET_BYTES
+) -> dict[int, float]:
+    """Packet lengths uniform on [low, high] — a simple reference mix."""
+    if not 1 <= low <= high <= MAX_PACKET_BYTES:
+        raise ConfigurationError(f"bad length range [{low}, {high}]")
+    weight = 1.0 / (high - low + 1)
+    return {length: weight for length in range(low, high + 1)}
+
+
+@dataclass(frozen=True)
+class SlotSizeEstimate:
+    """Cost/benefit summary of one slot size for one buffer budget."""
+
+    slot_bytes: int
+    buffer_bytes: int
+    num_slots: int
+    #: Register bits spent per data byte of buffer (the area overhead).
+    register_bits_per_byte: float
+    #: Expected fraction of occupied slot bytes wasted by fragmentation.
+    expected_fragmentation: float
+    #: Expected slots touched (pointer operations) per packet.
+    pointer_ops_per_packet: float
+    #: Expected packets a full buffer can hold under the length mix.
+    expected_packets_capacity: float
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"slot={self.slot_bytes:2d}B: {self.num_slots:3d} slots, "
+            f"{self.register_bits_per_byte:.2f} reg-bits/byte, "
+            f"{100 * self.expected_fragmentation:.1f}% fragmentation, "
+            f"{self.pointer_ops_per_packet:.2f} ptr-ops/packet, "
+            f"~{self.expected_packets_capacity:.1f} packets capacity"
+        )
+
+
+def estimate_slot_size(
+    slot_bytes: int,
+    buffer_bytes: int = 96,
+    lengths: Mapping[int, float] | None = None,
+) -> SlotSizeEstimate:
+    """Evaluate one slot size against a fixed data-RAM budget.
+
+    Parameters
+    ----------
+    slot_bytes:
+        Candidate slot size (the paper weighs 4, 8 and 32).
+    buffer_bytes:
+        Data-storage budget per input port (96 cells in the ComCoBB).
+    lengths:
+        Packet-length distribution ``{length: probability}``; defaults to
+        uniform over 1..32.
+    """
+    if slot_bytes < 1:
+        raise ConfigurationError("slot size must be at least one byte")
+    if buffer_bytes < slot_bytes:
+        raise ConfigurationError("budget smaller than one slot")
+    if lengths is None:
+        lengths = uniform_length_distribution()
+    total = sum(lengths.values())
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ConfigurationError(f"length probabilities sum to {total}")
+    num_slots = buffer_bytes // slot_bytes
+    max_packet_slots = -(-MAX_PACKET_BYTES // slot_bytes)
+    if num_slots < max_packet_slots:
+        raise ConfigurationError(
+            f"{buffer_bytes}-byte budget cannot hold a maximum packet at "
+            f"slot size {slot_bytes}"
+        )
+    pointer_bits = max(1, math.ceil(math.log2(num_slots)))
+    per_slot_register_bits = (
+        pointer_bits + LENGTH_REGISTER_BITS + HEADER_REGISTER_BITS
+    )
+    register_bits_per_byte = per_slot_register_bits / slot_bytes
+
+    expected_slots = 0.0
+    expected_waste = 0.0
+    expected_length = 0.0
+    for length, probability in lengths.items():
+        slots_needed = -(-length // slot_bytes)
+        expected_slots += probability * slots_needed
+        expected_waste += probability * (slots_needed * slot_bytes - length)
+        expected_length += probability * length
+    fragmentation = expected_waste / (expected_slots * slot_bytes)
+    return SlotSizeEstimate(
+        slot_bytes=slot_bytes,
+        buffer_bytes=buffer_bytes,
+        num_slots=num_slots,
+        register_bits_per_byte=register_bits_per_byte,
+        expected_fragmentation=fragmentation,
+        pointer_ops_per_packet=expected_slots,
+        expected_packets_capacity=num_slots / expected_slots,
+    )
+
+
+def slot_size_sweep(
+    slot_sizes: tuple[int, ...] = (4, 8, 16, 32),
+    buffer_bytes: int = 96,
+    lengths: Mapping[int, float] | None = None,
+) -> list[SlotSizeEstimate]:
+    """The paper's tradeoff table: every candidate size, one budget."""
+    return [
+        estimate_slot_size(slot_bytes, buffer_bytes, lengths)
+        for slot_bytes in slot_sizes
+    ]

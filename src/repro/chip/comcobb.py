@@ -1,0 +1,144 @@
+"""The ComCoBB chip: five ports, DAMQ buffers, crossbar and arbiter.
+
+The communication coprocessor of Section 3 has four network ports and a
+processor interface, all connected by a 5×5 crossbar.  Each port pairs an
+:class:`~repro.chip.input_port.InputPort` (with its own DAMQ buffer and
+virtual-circuit router) with an :class:`~repro.chip.output_port.OutputPort`;
+ports are autonomous and all nine datapaths (4 in + 4 out + processor
+interface) can be active in the same cycle.
+
+The chip exposes the five per-cycle phases the network driver calls in a
+fixed global order (drive → sample → arbitrate → latch → flow control),
+which realizes the two-phase-clock overlap of the real design at
+cycle granularity.
+"""
+
+from __future__ import annotations
+
+from repro.chip.arbiter import ChipArbiter
+from repro.chip.input_port import InputPort
+from repro.chip.output_port import OutputPort
+from repro.chip.router import CircuitRouter
+from repro.chip.slots import DamqBufferHw
+from repro.chip.trace import TraceRecorder
+from repro.errors import ConfigurationError
+
+__all__ = ["ComCoBBChip", "NUM_PORTS", "PROCESSOR_PORT", "DEFAULT_SLOTS"]
+
+#: Four network ports plus the processor interface.
+NUM_PORTS = 5
+
+#: Index of the processor-interface port.
+PROCESSOR_PORT = 4
+
+#: ComCoBB buffer pool: 96 static cells per bus line = 12 eight-byte slots.
+DEFAULT_SLOTS = 12
+
+
+class ComCoBBChip:
+    """One communication coprocessor.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces ("node3" etc.).
+    num_slots:
+        Slots per input buffer (12 in the real chip).
+    stop_threshold:
+        Free-slot level below which an input port asserts flow control.
+    trace:
+        Optional shared :class:`TraceRecorder`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_slots: int = DEFAULT_SLOTS,
+        stop_threshold: int | None = None,
+        trace: TraceRecorder | None = None,
+        slot_bytes: int = 8,
+    ) -> None:
+        if stop_threshold is None:
+            # Reserve room for one maximum-size packet plus the remaining
+            # continuation slots of a packet still streaming in.
+            max_packet_slots = -(-32 // slot_bytes)
+            stop_threshold = 2 * max_packet_slots - 1
+        if num_slots < stop_threshold:
+            raise ConfigurationError(
+                "buffer smaller than the flow-control threshold can never "
+                "accept a packet"
+            )
+        self.name = name
+        self.num_slots = num_slots
+        self.slot_bytes = slot_bytes
+        self.trace = trace
+        self.buffers = [
+            DamqBufferHw(num_slots, NUM_PORTS, port, slot_bytes=slot_bytes)
+            for port in range(NUM_PORTS)
+        ]
+        self.routers = [CircuitRouter(port, NUM_PORTS) for port in range(NUM_PORTS)]
+        self.input_ports = [
+            InputPort(
+                port,
+                name,
+                self.buffers[port],
+                self.routers[port],
+                stop_threshold,
+                trace,
+            )
+            for port in range(NUM_PORTS)
+        ]
+        self.output_ports = [OutputPort(port, name, trace) for port in range(NUM_PORTS)]
+        self.arbiter = ChipArbiter(name, NUM_PORTS, trace)
+
+    # ------------------------------------------------------------------
+    # Per-cycle phases (called by the network in global order)
+    # ------------------------------------------------------------------
+
+    def drive(self, cycle: int) -> None:
+        """Phase 1: output ports put latched values on their wires."""
+        for port in self.output_ports:
+            port.drive(cycle)
+
+    def sample(self, cycle: int) -> None:
+        """Phase 2: input ports sample wires and run the receive FSMs."""
+        for port in self.input_ports:
+            port.sample(cycle)
+
+    def arbitrate(self, cycle: int) -> None:
+        """Phase 3: the central arbiter makes new crossbar grants."""
+        self.arbiter.tick(cycle, self.buffers, self.output_ports)
+
+    def latch(self, cycle: int) -> None:
+        """Phase 4: output ports read the crossbar for next cycle's byte."""
+        for port in self.output_ports:
+            port.latch(cycle)
+
+    def update_flow_control(self) -> None:
+        """Phase 5: input ports refresh their stop lines."""
+        for port in self.input_ports:
+            port.update_flow_control()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_packets(self) -> int:
+        """Packets currently buffered anywhere on the chip."""
+        return sum(buffer.total_packets() for buffer in self.buffers)
+
+    @property
+    def busy(self) -> bool:
+        """Whether any datapath on the chip is mid-flight."""
+        return self.resident_packets > 0 or any(
+            port.busy for port in self.output_ports
+        )
+
+    def check_invariants(self) -> None:
+        """Run every buffer's structural self-check."""
+        for buffer in self.buffers:
+            buffer.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ComCoBBChip({self.name!r}, resident={self.resident_packets})"

@@ -1,0 +1,209 @@
+"""Host (application processor) adapter on the processor interface.
+
+The fifth port of the ComCoBB chip connects to the local application
+processor.  :class:`HostAdapter` plays that processor's role: it feeds the
+chip's processor-interface input port with packetized messages and
+reassembles the packets emerging from the processor-interface output port.
+
+Message protocol
+----------------
+The chip itself moves *packets* (1-32 data bytes); messages are a host
+convention.  This adapter prefixes each message with a two-byte
+little-endian payload length, splits the result into maximal packets (all
+32 bytes except possibly the last), and the receiving adapter reassembles
+per delivery tag (the final header byte of the circuit) until the declared
+length has arrived.  The paper's own framing ("only the last packet of a
+message can be less than thirty two bytes") is ambiguous for lengths
+divisible by 32, so the length prefix is our documented substitution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.chip.comcobb import ComCoBBChip, PROCESSOR_PORT
+from repro.chip.trace import TraceRecorder
+from repro.chip.wires import START, Link
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = ["HostAdapter", "ReceivedMessage", "packetize", "LENGTH_PREFIX_BYTES"]
+
+#: Bytes of the little-endian length prefix added to every message.
+LENGTH_PREFIX_BYTES = 2
+
+#: Maximum data bytes per packet (Section 3: one to thirty-two).
+MAX_PACKET_DATA = 32
+
+
+def packetize(payload: bytes) -> list[bytes]:
+    """Split a length-prefixed payload into maximal packet chunks."""
+    if not payload:
+        raise ConfigurationError("cannot send an empty message")
+    if len(payload) > 0xFFFF:
+        raise ConfigurationError("message longer than 65535 bytes")
+    framed = len(payload).to_bytes(LENGTH_PREFIX_BYTES, "little") + payload
+    return [
+        framed[i : i + MAX_PACKET_DATA]
+        for i in range(0, len(framed), MAX_PACKET_DATA)
+    ]
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """A message delivered to a host, with arrival bookkeeping."""
+
+    delivery_tag: int
+    payload: bytes
+    completed_cycle: int
+    packet_count: int
+
+
+@dataclass
+class _Reassembly:
+    """Per-delivery-tag accumulation state."""
+
+    data: bytearray = field(default_factory=bytearray)
+    packets: int = 0
+
+    def declared_length(self) -> int | None:
+        if len(self.data) < LENGTH_PREFIX_BYTES:
+            return None
+        return int.from_bytes(self.data[:LENGTH_PREFIX_BYTES], "little")
+
+    def complete(self) -> bool:
+        declared = self.declared_length()
+        return (
+            declared is not None
+            and len(self.data) >= declared + LENGTH_PREFIX_BYTES
+        )
+
+
+class HostAdapter:
+    """The application processor attached to one chip."""
+
+    def __init__(self, chip: ComCoBBChip, trace: TraceRecorder | None = None) -> None:
+        self.chip = chip
+        self.trace = trace
+        # Host → chip: drives the processor-interface input port.
+        self.inject_link = Link(f"{chip.name}.host->pi")
+        chip.input_ports[PROCESSOR_PORT].attach(self.inject_link)
+        # Chip → host: samples the processor-interface output port.
+        self.deliver_link = Link(f"{chip.name}.pi->host")
+        chip.output_ports[PROCESSOR_PORT].attach(self.deliver_link)
+        # Outgoing wire symbols (packets already serialized).
+        self._symbols: deque[object] = deque()
+        # Incoming parse state.
+        self._rx_state = "idle"
+        self._rx_remaining = 0
+        self._rx_tag: int | None = None
+        self._rx_bytes: bytearray = bytearray()
+        self._assembling: dict[int, _Reassembly] = {}
+        self.received_messages: list[ReceivedMessage] = []
+        self.packets_delivered = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, circuit_header: int, payload: bytes) -> int:
+        """Queue a message for injection on a virtual circuit.
+
+        Returns the number of packets the message occupies.
+        """
+        chunks = packetize(payload)
+        for chunk in chunks:
+            self._symbols.append(START)
+            self._symbols.append(circuit_header)
+            self._symbols.append(len(chunk))
+            self._symbols.extend(chunk)
+        self.messages_sent += 1
+        return len(chunks)
+
+    @property
+    def sending(self) -> bool:
+        """Whether injection traffic is still queued."""
+        return bool(self._symbols)
+
+    def drive(self, cycle: int) -> None:
+        """Put the next wire symbol on the injection link (one per cycle).
+
+        Respects flow control at packet boundaries: a start bit is only
+        driven when the chip's processor-interface buffer has room.
+        """
+        if not self._symbols:
+            return
+        symbol = self._symbols[0]
+        if symbol is START and self.inject_link.stop:
+            return  # hold the whole packet until the buffer drains
+        self._symbols.popleft()
+        self.inject_link.data.drive(symbol)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def sample(self, cycle: int) -> None:
+        """Parse the delivery wire: start/header/length/data."""
+        value = self.deliver_link.data.sample()
+        if value is None:
+            return
+        if value is START:
+            if self._rx_state != "idle":
+                raise ProtocolError(f"{self.chip.name}: start bit mid-packet")
+            self._rx_state = "header"
+            return
+        assert isinstance(value, int)
+        if self._rx_state == "header":
+            self._rx_tag = value
+            self._rx_state = "length"
+        elif self._rx_state == "length":
+            self._rx_remaining = value
+            self._rx_bytes = bytearray()
+            self._rx_state = "data"
+        elif self._rx_state == "data":
+            self._rx_bytes.append(value)
+            self._rx_remaining -= 1
+            if self._rx_remaining == 0:
+                self._finish_packet(cycle)
+        else:
+            raise ProtocolError(f"{self.chip.name}: byte {value} while idle")
+
+    def _finish_packet(self, cycle: int) -> None:
+        assert self._rx_tag is not None
+        self.packets_delivered += 1
+        assembly = self._assembling.setdefault(self._rx_tag, _Reassembly())
+        assembly.data.extend(self._rx_bytes)
+        assembly.packets += 1
+        if assembly.complete():
+            declared = assembly.declared_length()
+            assert declared is not None
+            payload = bytes(
+                assembly.data[
+                    LENGTH_PREFIX_BYTES : LENGTH_PREFIX_BYTES + declared
+                ]
+            )
+            self.received_messages.append(
+                ReceivedMessage(
+                    delivery_tag=self._rx_tag,
+                    payload=payload,
+                    completed_cycle=cycle,
+                    packet_count=assembly.packets,
+                )
+            )
+            del self._assembling[self._rx_tag]
+            if self.trace is not None:
+                self.trace.record(
+                    cycle,
+                    f"{self.chip.name}.host",
+                    f"message of {declared} bytes delivered "
+                    f"(tag {self._rx_tag})",
+                )
+        self._rx_state = "idle"
+        self._rx_tag = None
+
+    def end_cycle(self) -> None:
+        """Clear the adapter's wires at the cycle boundary."""
+        self.inject_link.end_cycle()
+        self.deliver_link.end_cycle()

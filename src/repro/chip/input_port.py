@@ -1,0 +1,166 @@
+"""Input port: start-bit detector, synchronizer, receiver FSM (Sec. 3.2.1).
+
+Every cycle the port samples its incoming link, pushes the value through
+the one-cycle synchronizer, and interprets the *released* stream:
+
+====================  =========================================
+released value        receiver action
+====================  =========================================
+start bit             arm for a header byte
+header byte           router lookup; claim the free-list head
+                      slot onto the destination list; store the
+                      new header register
+length byte           load the length register and write counter
+data byte             write into the current slot, allocating a
+                      continuation slot every eight bytes
+====================  =========================================
+
+This matches Table 1: a start bit sampled in cycle 0 yields a routed,
+enqueued packet in cycle 2 and a loaded length register in cycle 3, with
+data flowing into the buffer from cycle 4 on.
+
+The port also drives the link's *stop* line for flow control: when the
+free list drops below ``stop_threshold`` slots, the upstream output port
+must not start new packets (in-flight packets always complete; the
+threshold reserves room for one maximum-size packet plus the tail of the
+packet currently streaming in).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.chip.router import CircuitRouter
+from repro.chip.slots import DamqBufferHw, HwPacket
+from repro.chip.synchronizer import Synchronizer
+from repro.chip.trace import TraceRecorder
+from repro.chip.wires import START, Link
+from repro.errors import ProtocolError
+
+__all__ = ["InputPort", "DEFAULT_STOP_THRESHOLD"]
+
+#: Free-slot threshold below which the stop line is asserted: four slots
+#: for a new maximum-size packet plus up to three continuation slots of a
+#: packet still streaming in.
+DEFAULT_STOP_THRESHOLD = 7
+
+
+class _ReceiveState(enum.Enum):
+    """What the next released byte means."""
+
+    IDLE = "idle"
+    HEADER = "header"
+    LENGTH = "length"
+    DATA = "data"
+
+
+class InputPort:
+    """One of the chip's receive datapaths."""
+
+    def __init__(
+        self,
+        port_id: int,
+        chip_name: str,
+        buffer: DamqBufferHw,
+        router: CircuitRouter,
+        stop_threshold: int = DEFAULT_STOP_THRESHOLD,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.port_id = port_id
+        self.chip_name = chip_name
+        self.buffer = buffer
+        self.router = router
+        self.stop_threshold = stop_threshold
+        self.trace = trace
+        self.link: Link | None = None
+        self.sync = Synchronizer()
+        self._state = _ReceiveState.IDLE
+        self._current: HwPacket | None = None
+        self._last_start_cycle: int | None = None
+        self.packets_received = 0
+
+    @property
+    def name(self) -> str:
+        """Trace label."""
+        return f"{self.chip_name}.in{self.port_id}"
+
+    def attach(self, link: Link) -> None:
+        """Connect the incoming link."""
+        self.link = link
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+
+    def sample(self, cycle: int) -> None:
+        """Sample the wire, run the synchronizer, act on the released value."""
+        if self.link is None:
+            return
+        value = self.link.data.sample()
+        if value is START:
+            self._last_start_cycle = cycle
+            self._record(cycle, "start bit detected")
+        released = self.sync.tick(value)
+        if released is None:
+            return
+        if released is START:
+            if self._state is not _ReceiveState.IDLE:
+                raise ProtocolError(
+                    f"{self.name}: start bit inside a packet"
+                )
+            self._state = _ReceiveState.HEADER
+        elif self._state is _ReceiveState.HEADER:
+            self._receive_header(cycle, released)
+        elif self._state is _ReceiveState.LENGTH:
+            self._receive_length(cycle, released)
+        elif self._state is _ReceiveState.DATA:
+            self._receive_data(cycle, released)
+        else:
+            raise ProtocolError(
+                f"{self.name}: unexpected byte {released!r} while idle"
+            )
+
+    def _receive_header(self, cycle: int, header: int) -> None:
+        """Router lookup and slot claim (cycle 2 of Table 1)."""
+        entry = self.router.lookup(header)
+        packet = self.buffer.begin_packet(
+            destination=entry.output_port,
+            new_header=entry.new_header,
+            source_port=self.port_id,
+        )
+        packet.start_sampled_cycle = self._last_start_cycle
+        self._current = packet
+        self._state = _ReceiveState.LENGTH
+        self._record(
+            cycle,
+            f"header {header} routed to output {entry.output_port} "
+            f"(new header {entry.new_header}, slot {packet.slots[0]})",
+        )
+
+    def _receive_length(self, cycle: int, length: int) -> None:
+        """Length decode (cycle 3 of Table 1)."""
+        assert self._current is not None
+        self.buffer.set_length(self._current, length)
+        self._state = _ReceiveState.DATA
+        self._record(
+            cycle, f"length {length} latched into write counter"
+        )
+
+    def _receive_data(self, cycle: int, byte: int) -> None:
+        """One data byte into the buffer (cycles 4+ of Table 1)."""
+        assert self._current is not None
+        self.buffer.write_byte(self._current, byte)
+        if self._current.fully_written:
+            self._record(cycle, "EOP: write counter reached zero")
+            self.packets_received += 1
+            self._current = None
+            self._state = _ReceiveState.IDLE
+
+    def update_flow_control(self) -> None:
+        """Drive the stop line from the free-list level."""
+        if self.link is not None:
+            self.link.stop = self.buffer.free_count < self.stop_threshold
+
+    def _record(self, cycle: int, action: str) -> None:
+        if self.trace is not None:
+            self.trace.record(cycle, self.name, action)

@@ -1,0 +1,251 @@
+"""Multicomputer networks of ComCoBB chips connected by point-to-point links.
+
+Each node is a :class:`ComCoBBChip` plus its :class:`HostAdapter`.
+Neighbouring nodes are joined by a pair of unidirectional links (the
+paper's "two unidirectional links between each pair of neighboring
+processing nodes"), and messages travel over virtual circuits programmed
+into the per-input-port routing tables along a path of nodes.
+
+The network owns the global clock: each :meth:`tick` runs the five chip
+phases in an order that makes every wire synchronous —
+
+1. hosts and output ports **drive** their wires,
+2. input ports and hosts **sample** them,
+3. arbiters make new crossbar grants,
+4. output ports **latch** next cycle's byte,
+5. input ports refresh **flow control**, wires clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.comcobb import NUM_PORTS, PROCESSOR_PORT, ComCoBBChip
+from repro.chip.host import HostAdapter
+from repro.chip.trace import TraceRecorder
+from repro.chip.wires import Link
+from repro.errors import ConfigurationError, RoutingError, SimulationError
+
+__all__ = ["Node", "Circuit", "ChipNetwork"]
+
+
+@dataclass
+class Node:
+    """One processing node: chip + application processor."""
+
+    name: str
+    chip: ComCoBBChip
+    host: HostAdapter
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A programmed virtual circuit, ready for messages.
+
+    ``header`` is the byte the source host puts on each packet;
+    ``delivery_tag`` is the byte the destination host sees.
+    """
+
+    source: str
+    destination: str
+    header: int
+    delivery_tag: int
+    hops: tuple[str, ...]
+
+
+class ChipNetwork:
+    """A set of nodes, their links, and the global clock."""
+
+    def __init__(
+        self,
+        num_slots: int = 12,
+        stop_threshold: int | None = None,
+        trace: TraceRecorder | None = None,
+        slot_bytes: int = 8,
+    ) -> None:
+        self.trace = trace
+        self.num_slots = num_slots
+        self.stop_threshold = stop_threshold
+        self.slot_bytes = slot_bytes
+        self.nodes: dict[str, Node] = {}
+        self._links: list[Link] = []
+        # adjacency[(node, port)] = (neighbour node, neighbour port)
+        self._adjacency: dict[tuple[str, int], tuple[str, int]] = {}
+        # Host-facing delivery tags must be unique per *destination node*
+        # (circuits may enter the final chip via different input ports,
+        # whose router tables allocate headers independently).
+        self._next_delivery_tag: dict[str, int] = {}
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        """Create a node (chip + host adapter)."""
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+        kwargs = {}
+        if self.stop_threshold is not None:
+            kwargs["stop_threshold"] = self.stop_threshold
+        chip = ComCoBBChip(
+            name,
+            num_slots=self.num_slots,
+            trace=self.trace,
+            slot_bytes=self.slot_bytes,
+            **kwargs,
+        )
+        host = HostAdapter(chip, self.trace)
+        node = Node(name, chip, host)
+        self.nodes[name] = node
+        return node
+
+    def connect(self, name_a: str, port_a: int, name_b: str, port_b: int) -> None:
+        """Join two nodes with a pair of unidirectional links."""
+        for name, port in ((name_a, port_a), (name_b, port_b)):
+            if name not in self.nodes:
+                raise ConfigurationError(f"unknown node {name!r}")
+            if not 0 <= port < NUM_PORTS or port == PROCESSOR_PORT:
+                raise ConfigurationError(
+                    f"port {port} is not a network port (0-3)"
+                )
+            if (name, port) in self._adjacency:
+                raise ConfigurationError(f"port {port} of {name!r} already wired")
+        node_a = self.nodes[name_a]
+        node_b = self.nodes[name_b]
+        forward = Link(f"{name_a}.out{port_a}->{name_b}.in{port_b}")
+        backward = Link(f"{name_b}.out{port_b}->{name_a}.in{port_a}")
+        node_a.chip.output_ports[port_a].attach(forward)
+        node_b.chip.input_ports[port_b].attach(forward)
+        node_b.chip.output_ports[port_b].attach(backward)
+        node_a.chip.input_ports[port_a].attach(backward)
+        self._links.extend([forward, backward])
+        self._adjacency[(name_a, port_a)] = (name_b, port_b)
+        self._adjacency[(name_b, port_b)] = (name_a, port_a)
+
+    def _port_towards(self, name: str, neighbour: str) -> tuple[int, int]:
+        """The (local output port, neighbour input port) pair linking two
+        adjacent nodes."""
+        for (node, port), (other, other_port) in self._adjacency.items():
+            if node == name and other == neighbour:
+                return port, other_port
+        raise RoutingError(f"{name!r} and {neighbour!r} are not adjacent")
+
+    # ------------------------------------------------------------------
+    # Virtual circuits
+    # ------------------------------------------------------------------
+
+    def open_circuit(self, path: list[str]) -> Circuit:
+        """Program a virtual circuit along a path of adjacent nodes.
+
+        The path starts at the sending node and ends at the receiving
+        node.  Headers are allocated hop by hop: the source host's header
+        indexes the processor-interface router of the first chip; each
+        intermediate chip's input router relabels the packet; the last
+        chip routes it to its processor interface under a fresh delivery
+        tag.
+        """
+        if len(path) < 2:
+            raise ConfigurationError("a circuit needs at least two nodes")
+        for name in path:
+            if name not in self.nodes:
+                raise ConfigurationError(f"unknown node {name!r}")
+        # Entry router of each hop: processor interface at the source,
+        # then the input port each inter-node link lands on.
+        hops: list[tuple[str, int, int]] = []  # (node, entry port, out port)
+        entry_port = PROCESSOR_PORT
+        for here, there in zip(path[:-1], path[1:]):
+            out_port, next_entry = self._port_towards(here, there)
+            hops.append((here, entry_port, out_port))
+            entry_port = next_entry
+        hops.append((path[-1], entry_port, PROCESSOR_PORT))
+
+        # Allocate a header for every router on the path, then program
+        # each router to relabel to the next hop's header.
+        headers = [
+            self.nodes[name].chip.routers[entry].free_header()
+            for name, entry, _out in hops
+        ]
+        destination = path[-1]
+        delivery_tag = self._next_delivery_tag.get(destination, 0)
+        if delivery_tag > 255:
+            raise RoutingError(
+                f"node {destination!r} has no free delivery tags"
+            )
+        self._next_delivery_tag[destination] = delivery_tag + 1
+        for index, (name, entry, out_port) in enumerate(hops):
+            new_header = (
+                headers[index + 1] if index + 1 < len(hops) else delivery_tag
+            )
+            self.nodes[name].chip.routers[entry].program(
+                headers[index], out_port, new_header
+            )
+        return Circuit(
+            source=path[0],
+            destination=path[-1],
+            header=headers[0],
+            delivery_tag=delivery_tag,
+            hops=tuple(path),
+        )
+
+    def send(self, circuit: Circuit, payload: bytes) -> int:
+        """Queue a message at the circuit's source host."""
+        return self.nodes[circuit.source].host.send_message(
+            circuit.header, payload
+        )
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance the whole network by one clock cycle."""
+        cycle = self.cycle
+        for node in self.nodes.values():
+            node.host.drive(cycle)
+            node.chip.drive(cycle)
+        for node in self.nodes.values():
+            node.chip.sample(cycle)
+            node.host.sample(cycle)
+        for node in self.nodes.values():
+            node.chip.arbitrate(cycle)
+        for node in self.nodes.values():
+            node.chip.latch(cycle)
+        for node in self.nodes.values():
+            node.chip.update_flow_control()
+            node.host.end_cycle()
+        for link in self._links:
+            link.end_cycle()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance a fixed number of cycles."""
+        for _ in range(cycles):
+            self.tick()
+
+    @property
+    def busy(self) -> bool:
+        """Whether any host is injecting or any chip holds packets."""
+        return any(
+            node.host.sending or node.chip.busy for node in self.nodes.values()
+        )
+
+    def run_until_idle(self, max_cycles: int = 100_000) -> int:
+        """Run until all traffic drains; return cycles consumed."""
+        start = self.cycle
+        # A few grace cycles let wire-latched bytes land after chips go idle.
+        grace = 8
+        idle_cycles = 0
+        while idle_cycles < grace:
+            if self.cycle - start > max_cycles:
+                raise SimulationError(
+                    f"network did not drain within {max_cycles} cycles"
+                )
+            self.tick()
+            idle_cycles = 0 if self.busy else idle_cycles + 1
+        return self.cycle - start
+
+    def check_invariants(self) -> None:
+        """Run every chip's structural self-check."""
+        for node in self.nodes.values():
+            node.chip.check_invariants()

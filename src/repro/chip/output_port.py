@@ -1,0 +1,174 @@
+"""Output port: the transmit pipeline of Section 3.2.2.
+
+An output port granted a (buffer, packet) connection streams the packet
+onto its link at one byte per cycle: start bit, new header byte, length
+byte, then the data bytes read out of the buffer slots.  The port latches
+the next value in one cycle (the crossbar transfer) and drives it on the
+wire in the next — this one-cycle pipeline, combined with the input side's
+synchronizer delay, is what yields the four-cycle cut-through turnaround
+of Table 1.
+
+The latch step reads buffer bytes through :meth:`DamqBufferHw.read_byte`,
+which recycles each slot as its last byte leaves — so by the time a long
+packet's tail is still arriving, its head slots are already back on the
+free list, exactly as in the hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.chip.slots import DamqBufferHw, HwPacket
+from repro.chip.trace import TraceRecorder
+from repro.chip.wires import START, Link
+from repro.errors import ProtocolError
+
+__all__ = ["OutputPort"]
+
+
+class _SendState(enum.Enum):
+    """What the port will latch next."""
+
+    IDLE = "idle"
+    HEADER = "header"  # start bit already pending
+    LENGTH = "length"
+    DATA = "data"
+    FINISHING = "finishing"  # last byte pending on the latch
+
+
+class OutputPort:
+    """One of the chip's transmit datapaths."""
+
+    def __init__(
+        self,
+        port_id: int,
+        chip_name: str,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.port_id = port_id
+        self.chip_name = chip_name
+        self.trace = trace
+        self.link: Link | None = None
+        self._state = _SendState.IDLE
+        self._pending: object = None
+        self._pending_is_start = False
+        self._buffer: DamqBufferHw | None = None
+        self._packet: HwPacket | None = None
+        self.packets_sent = 0
+
+    @property
+    def name(self) -> str:
+        """Trace label."""
+        return f"{self.chip_name}.out{self.port_id}"
+
+    def attach(self, link: Link) -> None:
+        """Connect the outgoing link."""
+        self.link = link
+
+    @property
+    def busy(self) -> bool:
+        """Whether the port is mid-packet (not grantable)."""
+        return self._state is not _SendState.IDLE or self._pending is not None
+
+    @property
+    def downstream_stopped(self) -> bool:
+        """Whether the receiver at the far end asserted flow control."""
+        return self.link is not None and self.link.stop
+
+    # ------------------------------------------------------------------
+    # Arbiter interface
+    # ------------------------------------------------------------------
+
+    def grant(self, buffer: DamqBufferHw, packet: HwPacket, cycle: int) -> None:
+        """Connect this port to a buffer queue (crossbar grant)."""
+        if self.busy:
+            raise ProtocolError(f"{self.name}: granted while busy")
+        if buffer.reader_active:
+            raise ProtocolError(
+                f"{self.name}: buffer of input {buffer.port_id} already "
+                f"has a reader"
+            )
+        self._buffer = buffer
+        self._packet = packet
+        buffer.reader_active = True
+        self._state = _SendState.HEADER
+        self._pending = START
+        self._pending_is_start = True
+        self._record(cycle, f"granted buffer of input {buffer.port_id}")
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+
+    def drive(self, cycle: int) -> None:
+        """Put the latched value on the wire (phase 0 of the cycle)."""
+        if self._pending is None or self.link is None:
+            return
+        self.link.data.drive(self._pending)
+        if self._pending_is_start:
+            assert self._packet is not None
+            self._packet.start_driven_cycle = cycle
+            self._record(cycle, "start bit driven")
+            self._pending_is_start = False
+        self._pending = None
+        if self._state is _SendState.FINISHING:
+            self._disconnect(cycle)
+
+    def latch(self, cycle: int) -> None:
+        """Prepare next cycle's wire value (the crossbar transfer)."""
+        if self._state in (_SendState.IDLE, _SendState.FINISHING):
+            return
+        if self._pending is not None:
+            # A value is already latched and not yet driven — this happens
+            # only in the grant cycle, whose latch slot was used for the
+            # start bit.
+            return
+        assert self._packet is not None and self._buffer is not None
+        if self._state is _SendState.HEADER:
+            self._pending = self._packet.new_header
+            self._state = _SendState.LENGTH
+            self._record(
+                cycle, f"header {self._packet.new_header} latched from crossbar"
+            )
+        elif self._state is _SendState.LENGTH:
+            if not self._packet.length_known:
+                raise ProtocolError(f"{self.name}: length not ready")
+            self._pending = self._packet.length
+            self._state = _SendState.DATA
+            self._record(
+                cycle, f"length {self._packet.length} loaded into read counter"
+            )
+        elif self._state is _SendState.DATA:
+            byte = self._buffer.read_byte(self._packet)
+            self._pending = byte
+            if self._packet.fully_read:
+                self._state = _SendState.FINISHING
+                self._record(cycle, "read counter reached zero (EOP)")
+
+    def _disconnect(self, cycle: int) -> None:
+        """Tear down the crossbar connection after the final byte."""
+        assert self._buffer is not None and self._packet is not None
+        self._buffer.finish_packet(self._packet)
+        self._buffer.reader_active = False
+        self._record(
+            cycle,
+            f"packet for output {self.port_id} complete "
+            f"(turnaround {self._turnaround()} cycles)",
+        )
+        self.packets_sent += 1
+        self._buffer = None
+        self._packet = None
+        self._state = _SendState.IDLE
+
+    def _turnaround(self) -> object:
+        assert self._packet is not None
+        if (
+            self._packet.start_sampled_cycle is None
+            or self._packet.start_driven_cycle is None
+        ):
+            return "?"
+        return self._packet.start_driven_cycle - self._packet.start_sampled_cycle
+
+    def _record(self, cycle: int, action: str) -> None:
+        if self.trace is not None:
+            self.trace.record(cycle, self.name, action)

@@ -1,0 +1,94 @@
+"""Per-input-port virtual-circuit router (Section 3.2).
+
+The ComCoBB routes packets over *virtual circuits*: the header byte of an
+arriving packet indexes a local table that yields the output port and the
+new header byte to use on the next hop.  One router (and one table) exists
+per input port; the table is programmed when a circuit is opened
+(:meth:`repro.chip.network.ChipNetwork.open_circuit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, RoutingError
+
+__all__ = ["RouteEntry", "CircuitRouter"]
+
+#: Headers are a single byte on the wire.
+MAX_HEADER = 255
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One virtual-circuit table entry: where to send, what to relabel."""
+
+    output_port: int
+    new_header: int
+
+
+class CircuitRouter:
+    """Routing table of one input port.
+
+    Parameters
+    ----------
+    port_id:
+        The input port this router serves; routes back to the paired
+        output port are rejected (the DAMQ buffer keeps no list for it).
+    num_ports:
+        Ports on the chip (output-port indices must be below this).
+    """
+
+    def __init__(self, port_id: int, num_ports: int) -> None:
+        self.port_id = port_id
+        self.num_ports = num_ports
+        self._table: dict[int, RouteEntry] = {}
+
+    def program(self, header: int, output_port: int, new_header: int) -> None:
+        """Install a circuit hop in the table."""
+        self._check_header(header)
+        self._check_header(new_header)
+        if not 0 <= output_port < self.num_ports:
+            raise ConfigurationError(f"output port {output_port} out of range")
+        if output_port == self.port_id:
+            raise ConfigurationError(
+                f"port {self.port_id}: circuits may not route straight back "
+                f"out of the paired output port"
+            )
+        if header in self._table:
+            raise ConfigurationError(
+                f"port {self.port_id}: header {header} already programmed"
+            )
+        self._table[header] = RouteEntry(output_port, new_header)
+
+    def lookup(self, header: int) -> RouteEntry:
+        """Route an arriving packet (cycle 2, phase 1 of Table 1)."""
+        self._check_header(header)
+        try:
+            return self._table[header]
+        except KeyError:
+            raise RoutingError(
+                f"port {self.port_id}: no circuit for header {header}"
+            ) from None
+
+    def clear(self, header: int) -> None:
+        """Tear down one circuit hop."""
+        self._table.pop(header, None)
+
+    @property
+    def circuit_count(self) -> int:
+        """Number of programmed circuits."""
+        return len(self._table)
+
+    def free_header(self) -> int:
+        """Smallest header byte not yet in use (circuit allocation)."""
+        for header in range(MAX_HEADER + 1):
+            if header not in self._table:
+                return header
+        raise RoutingError(
+            f"port {self.port_id}: all {MAX_HEADER + 1} headers in use"
+        )
+
+    def _check_header(self, header: int) -> None:
+        if not 0 <= header <= MAX_HEADER:
+            raise ConfigurationError(f"header {header} is not a byte")

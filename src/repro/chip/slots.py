@@ -1,0 +1,284 @@
+"""The DAMQ buffer datapath: slot array, per-slot registers, linked lists.
+
+This is the byte-granularity hardware model of Section 3.1/3.2.3.  The
+buffer pool is an array of eight-byte slots addressed (in the real chip) by
+read/write shift registers; every slot carries three registers — a pointer
+register (modeled by :class:`~repro.core.linkedlist.SlotListManager`), a
+length register and a new-header register — because any slot can be the
+first slot of a packet.  Packets occupy one to four slots; the slots of a
+packet are chained on the linked list of the packet's destination port and
+recycled through the free list one at a time as the transmitter drains
+them.
+
+The receiver and transmitter FSMs coordinate through :class:`HwPacket`
+progress records (the counters and shared signals the paper describes as
+"interacting via registers and a few shared signals"), which let a packet
+be written and read in the same cycle — the property virtual cut-through
+depends on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.linkedlist import SlotListManager
+from repro.errors import (
+    BufferEmptyError,
+    ConfigurationError,
+    ProtocolError,
+)
+
+__all__ = ["SLOT_BYTES", "MAX_PACKET_BYTES", "HwPacket", "DamqBufferHw"]
+
+#: Slot size chosen in Section 3.2.3 after the area/bookkeeping tradeoff.
+#: :class:`DamqBufferHw` accepts other sizes so the tradeoff can be
+#: re-explored (see :mod:`repro.chip.area`).
+SLOT_BYTES = 8
+
+#: Maximum data bytes per packet in the ComCoBB protocol.
+MAX_PACKET_BYTES = 32
+
+
+@dataclass
+class HwPacket:
+    """Progress record for one packet moving through a buffer.
+
+    Mirrors the state the receiving and transmitting FSMs hold in
+    hardware: which slots belong to the packet, how many bytes have been
+    written/read, and the contents of the per-packet registers (new header
+    and length).  Timing fields feed the Table 1 trace.
+    """
+
+    destination: int
+    new_header: int
+    length: int | None = None
+    slots: list[int] = field(default_factory=list)
+    bytes_written: int = 0
+    bytes_read: int = 0
+    slots_released: int = 0
+    start_sampled_cycle: int | None = None
+    start_driven_cycle: int | None = None
+    source_port: int | None = None
+
+    @property
+    def length_known(self) -> bool:
+        """Whether the length byte has been decoded (transmit gate)."""
+        return self.length is not None
+
+    @property
+    def fully_written(self) -> bool:
+        """Whether every data byte has entered the buffer."""
+        return self.length is not None and self.bytes_written >= self.length
+
+    @property
+    def fully_read(self) -> bool:
+        """Whether every data byte has left the buffer."""
+        return self.length is not None and self.bytes_read >= self.length
+
+
+class DamqBufferHw:
+    """One input port's DAMQ buffer at byte granularity.
+
+    Parameters
+    ----------
+    num_slots:
+        Slots in the pool (12 in the ComCoBB chip: 96 static cells per bus
+        line at 8 bytes per slot).
+    num_ports:
+        Ports of the chip (5 for ComCoBB).  One destination list exists
+        per port; the list for the buffer's own paired port stays empty by
+        construction (no immediate turn-around routing).
+    port_id:
+        The input port this buffer belongs to.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        num_ports: int,
+        port_id: int,
+        slot_bytes: int = SLOT_BYTES,
+    ) -> None:
+        if slot_bytes < 1:
+            raise ConfigurationError("slots need at least one byte")
+        max_packet_slots = -(-MAX_PACKET_BYTES // slot_bytes)
+        if num_slots < max_packet_slots:
+            raise ConfigurationError(
+                f"buffer needs at least {max_packet_slots} slots of "
+                f"{slot_bytes} bytes to hold a maximum-size packet"
+            )
+        self.num_slots = num_slots
+        self.num_ports = num_ports
+        self.port_id = port_id
+        self.slot_bytes = slot_bytes
+        self.lists = SlotListManager(num_slots=num_slots, num_lists=num_ports)
+        # The "data RAM": slot_bytes dual-ported static cells per slot.
+        self.data: list[list[int | None]] = [
+            [None] * slot_bytes for _ in range(num_slots)
+        ]
+        # Per-slot registers (any slot can head a packet).
+        self.length_register: list[int | None] = [None] * num_slots
+        self.header_register: list[int | None] = [None] * num_slots
+        # FSM coordination state: per-destination queues of progress
+        # records, and the single-read-port occupancy flag.
+        self.queues: list[deque[HwPacket]] = [deque() for _ in range(num_ports)]
+        self.reader_active = False
+
+    # ------------------------------------------------------------------
+    # Receive side (driven by the input port FSM)
+    # ------------------------------------------------------------------
+
+    def begin_packet(
+        self, destination: int, new_header: int, source_port: int | None = None
+    ) -> HwPacket:
+        """Start receiving a packet: claim the free-list head slot.
+
+        Called at router time (cycle 2 of Table 1), before the length is
+        known: the first data bytes are already being steered at the slot
+        the free-list head register names.
+        """
+        if destination == self.port_id:
+            raise ProtocolError(
+                f"port {self.port_id}: a packet may not turn around onto "
+                f"its own paired output"
+            )
+        if not 0 <= destination < self.num_ports:
+            raise ConfigurationError(f"destination {destination} out of range")
+        slot = self.lists.allocate(destination)
+        self.header_register[slot] = new_header
+        packet = HwPacket(
+            destination=destination,
+            new_header=new_header,
+            source_port=source_port,
+        )
+        packet.slots.append(slot)
+        self.queues[destination].append(packet)
+        return packet
+
+    def set_length(self, packet: HwPacket, length: int) -> None:
+        """Latch the decoded length byte (cycle 3, phase 1 of Table 1)."""
+        if not 1 <= length <= MAX_PACKET_BYTES:
+            raise ProtocolError(f"illegal packet length {length}")
+        if packet.length_known:
+            raise ProtocolError("length register loaded twice")
+        packet.length = length
+        self.length_register[packet.slots[0]] = length
+
+    def write_byte(self, packet: HwPacket, byte: int) -> None:
+        """Store one data byte, allocating a continuation slot as needed."""
+        if not packet.length_known:
+            raise ProtocolError("data byte before the length was decoded")
+        if packet.fully_written:
+            raise ProtocolError("write past the packet's length")
+        offset = packet.bytes_written % self.slot_bytes
+        if offset == 0 and packet.bytes_written > 0:
+            slot = self.lists.allocate(packet.destination)
+            packet.slots.append(slot)
+        slot = packet.slots[-1]
+        self.data[slot][offset] = byte
+        packet.bytes_written += 1
+
+    # ------------------------------------------------------------------
+    # Transmit side (driven by the output port via the crossbar)
+    # ------------------------------------------------------------------
+
+    def head_packet(self, destination: int) -> HwPacket | None:
+        """Packet at the head of one destination queue (may be partial)."""
+        queue = self.queues[destination]
+        return queue[0] if queue else None
+
+    def transmittable(self, destination: int) -> bool:
+        """Whether the arbiter may connect this queue to its output.
+
+        Requires a head packet whose length register is loaded (Table 1:
+        arbitration is latched in the cycle the length is decoded) and a
+        free read port.
+        """
+        if self.reader_active:
+            return False
+        packet = self.head_packet(destination)
+        return packet is not None and packet.length_known
+
+    def read_byte(self, packet: HwPacket) -> int:
+        """Read the next data byte; recycle each slot as it drains.
+
+        Raises :class:`ProtocolError` if the byte has not been written yet
+        — in hardware that would be a read/write race the FSM
+        synchronization is designed to exclude, so hitting it in
+        simulation means the timing model is broken.
+        """
+        if packet.fully_read:
+            raise ProtocolError("read past the packet's length")
+        if packet.bytes_read >= packet.bytes_written:
+            raise ProtocolError(
+                f"read outran write: byte {packet.bytes_read} of a packet "
+                f"with {packet.bytes_written} bytes written"
+            )
+        slot_index = packet.bytes_read // self.slot_bytes
+        offset = packet.bytes_read % self.slot_bytes
+        slot = packet.slots[slot_index]
+        byte = self.data[slot][offset]
+        assert byte is not None
+        packet.bytes_read += 1
+        is_slot_end = offset == self.slot_bytes - 1 or packet.fully_read
+        if is_slot_end and packet.slots_released <= slot_index:
+            released = self.lists.release_head(packet.destination)
+            if released != slot:
+                raise ProtocolError(
+                    f"linked list corruption: released slot {released}, "
+                    f"expected {slot}"
+                )
+            self._scrub_slot(slot)
+            packet.slots_released = slot_index + 1
+        return byte
+
+    def finish_packet(self, packet: HwPacket) -> None:
+        """Remove a fully transmitted packet from its queue."""
+        queue = self.queues[packet.destination]
+        if not queue or queue[0] is not packet:
+            raise BufferEmptyError("finished packet is not at queue head")
+        if not packet.fully_read:
+            raise ProtocolError("finishing a packet before its last byte")
+        queue.popleft()
+
+    def _scrub_slot(self, slot: int) -> None:
+        """Clear a recycled slot's cells and registers (debug hygiene)."""
+        self.data[slot] = [None] * self.slot_bytes
+        self.length_register[slot] = None
+        self.header_register[slot] = None
+
+    # ------------------------------------------------------------------
+    # Inspection / flow control
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Slots on the free list."""
+        return self.lists.free_count
+
+    @property
+    def occupancy(self) -> int:
+        """Slots in use."""
+        return self.lists.occupancy()
+
+    def queue_length(self, destination: int) -> int:
+        """Packets queued for one destination (arbitration metric)."""
+        return len(self.queues[destination])
+
+    def total_packets(self) -> int:
+        """Packets resident in the buffer (any state of progress)."""
+        return sum(len(queue) for queue in self.queues)
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by the tests."""
+        self.lists.check_invariants()
+        for destination, queue in enumerate(self.queues):
+            chained = self.lists.slots(destination)
+            expected: list[int] = []
+            for packet in queue:
+                expected.extend(packet.slots[packet.slots_released :])
+            assert chained == expected, (
+                f"port {self.port_id} list {destination}: slots {chained} "
+                f"!= packet records {expected}"
+            )

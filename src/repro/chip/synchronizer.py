@@ -1,0 +1,29 @@
+"""The input synchronizer (Section 3.2.1).
+
+Every byte entering the chip passes through a synchronizer, introducing
+"a full clock cycle delay between the signaling of packet arrival ... and
+the actual arrival of the header byte".  The model is a one-deep pipeline:
+the byte sampled from the wire in cycle ``t`` is released to the router and
+buffer in cycle ``t + 1``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Synchronizer"]
+
+
+class Synchronizer:
+    """One-cycle delay element between the wire and the chip internals."""
+
+    def __init__(self) -> None:
+        self._pipe: int | None = None
+
+    def tick(self, incoming: int | None) -> int | None:
+        """Push this cycle's wire byte in; get last cycle's byte out."""
+        released = self._pipe
+        self._pipe = incoming
+        return released
+
+    def flush(self) -> None:
+        """Drop any byte in flight (reset)."""
+        self._pipe = None

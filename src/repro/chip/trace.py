@@ -1,0 +1,60 @@
+"""Cycle-accurate trace recording for the chip model.
+
+The Table 1 reproduction needs a readable, cycle-by-cycle account of what
+each component does while a packet cuts through a chip.  Components call
+:meth:`TraceRecorder.record` when a recorder is attached; experiments
+render the collected events as the table's Cycle/Action rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded action of one component at one clock cycle."""
+
+    cycle: int
+    component: str
+    action: str
+
+    def render(self) -> str:
+        """Human-readable single line."""
+        return f"cycle {self.cycle:4d}  {self.component:24s} {self.action}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records in simulation order."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, cycle: int, component: str, action: str) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(cycle, component, action))
+
+    def filter(
+        self, component: str | None = None, contains: str | None = None
+    ) -> list[TraceEvent]:
+        """Events matching a component prefix and/or action substring."""
+        selected = self.events
+        if component is not None:
+            selected = [
+                event
+                for event in selected
+                if event.component.startswith(component)
+            ]
+        if contains is not None:
+            selected = [event for event in selected if contains in event.action]
+        return selected
+
+    def render(self) -> str:
+        """The whole trace, one event per line."""
+        return "\n".join(event.render() for event in self.events)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()

@@ -1,0 +1,85 @@
+"""Wire-level signalling between chips (and between chip and host).
+
+The ComCoBB links are eight data wires clocked at one byte per cycle, with
+a start bit announcing each packet one cycle ahead of its header byte
+(Section 3.2).  :class:`Wire` models one unidirectional byte lane: in every
+clock cycle it carries either nothing, a start bit, or one byte.  A
+:class:`Link` couples a data wire with the reverse *stop* line used for
+flow control (the "buffer full" notification of Section 2).
+
+The global tick order (see :mod:`repro.chip.network`) guarantees drivers
+run before samplers within a cycle, so a wire's value is what its driver
+put on it in the same cycle — exactly like a synchronous bus.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+__all__ = ["START", "Wire", "Link"]
+
+
+class _StartBit:
+    """Singleton marker for the start bit occupying one wire cycle."""
+
+    def __repr__(self) -> str:
+        return "START"
+
+
+#: The start-bit symbol; compare with ``is``.
+START = _StartBit()
+
+#: Type carried by a wire in one cycle.
+WireValue = object  # None | START | int in [0, 255]
+
+
+class Wire:
+    """One unidirectional byte lane, valid for a single clock cycle."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value: WireValue = None
+        self._driven = False
+
+    def drive(self, value: WireValue) -> None:
+        """Put a value on the wire for this cycle (at most one driver)."""
+        if self._driven:
+            raise ProtocolError(f"wire {self.name!r} driven twice in one cycle")
+        if value is not None and value is not START:
+            if not isinstance(value, int) or not 0 <= value <= 255:
+                raise ProtocolError(
+                    f"wire {self.name!r} can only carry bytes, got {value!r}"
+                )
+        self._value = value
+        self._driven = value is not None
+
+    def sample(self) -> WireValue:
+        """Read the wire's value for this cycle."""
+        return self._value
+
+    def end_cycle(self) -> None:
+        """Return the wire to the idle state at the cycle boundary."""
+        self._value = None
+        self._driven = False
+
+
+class Link:
+    """A data wire plus the reverse stop line.
+
+    ``stop`` is a level signal driven by the receiving input port when its
+    buffer is low on free slots; the sending output port samples it before
+    starting a *new* packet (a packet in flight always completes — the
+    receiver's threshold reserves space for it).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.data = Wire(f"{name}.data")
+        self.stop = False
+
+    def end_cycle(self) -> None:
+        """Clear the data wire at the cycle boundary (stop is a level)."""
+        self.data.end_cycle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name!r}, stop={self.stop})"

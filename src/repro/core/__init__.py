@@ -1,0 +1,40 @@
+"""The paper's primary contribution and its baselines.
+
+This package holds the four input-buffer architectures of Tamir & Frazier
+(ISCA 1988) behind a single :class:`~repro.core.buffer.SwitchBuffer`
+interface, plus the packet model and the hardware-faithful linked-list slot
+manager that powers the DAMQ design.
+"""
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.damq import DamqBuffer
+from repro.core.fifo import FifoBuffer
+from repro.core.linkedlist import NO_SLOT, SlotListManager
+from repro.core.packet import Message, Packet, PacketFactory
+from repro.core.registry import (
+    BUFFER_TYPES,
+    PAPER_ORDER,
+    buffer_class,
+    make_buffer,
+    make_buffer_factory,
+)
+from repro.core.safc import SafcBuffer
+from repro.core.samq import SamqBuffer
+
+__all__ = [
+    "BUFFER_TYPES",
+    "DamqBuffer",
+    "FifoBuffer",
+    "Message",
+    "NO_SLOT",
+    "PAPER_ORDER",
+    "Packet",
+    "PacketFactory",
+    "SafcBuffer",
+    "SamqBuffer",
+    "SlotListManager",
+    "SwitchBuffer",
+    "buffer_class",
+    "make_buffer",
+    "make_buffer_factory",
+]

@@ -1,0 +1,166 @@
+"""Abstract interface shared by the four input-buffer architectures.
+
+The paper compares four ways of organizing the buffer at a switch input
+port (Figure 1):
+
+* **FIFO** — one queue; only the head-of-line packet is visible.
+* **SAFC** — statically allocated, fully connected: one queue per output
+  port, each with ``capacity / n`` dedicated slots, readable in parallel.
+* **SAMQ** — statically allocated multi-queue: same static partitioning but
+  a single read port.
+* **DAMQ** — dynamically allocated multi-queue: per-output queues that
+  share the whole slot pool, single read port (the contribution).
+
+All four implement :class:`SwitchBuffer`.  The network simulator and the
+crossbar arbiter program against this interface only, so every experiment
+is a pure buffer-architecture comparison with everything else held equal —
+which is exactly the paper's methodology.
+
+Conventions
+-----------
+* ``destination`` arguments are *local output-port indices* of the switch
+  that owns the buffer (the router has already translated the packet's
+  network destination).
+* Capacity is counted in packets; the paper's network experiments use
+  fixed-length packets occupying one slot each.  ``Packet.size`` larger
+  than one (the variable-length extension) consumes several slots.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError
+
+__all__ = ["SwitchBuffer"]
+
+
+class SwitchBuffer(ABC):
+    """One input port's packet storage.
+
+    Parameters
+    ----------
+    capacity:
+        Total number of slots (packets of size one) the buffer can hold.
+    num_outputs:
+        Number of output ports of the owning switch; packets are queued by
+        the local output port they have been routed to.
+    """
+
+    #: Short name used in experiment tables ("FIFO", "DAMQ", ...).
+    kind: str = "abstract"
+
+    #: How many distinct packets the buffer can source in one cycle.  Every
+    #: buffer except SAFC has a single read port.
+    max_reads_per_cycle: int = 1
+
+    def __init__(self, capacity: int, num_outputs: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be at least 1")
+        if num_outputs < 1:
+            raise ConfigurationError("switch needs at least one output port")
+        self.capacity = capacity
+        self.num_outputs = num_outputs
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def can_accept(self, destination: int, size: int = 1) -> bool:
+        """True when a packet routed to ``destination`` would fit now.
+
+        For the statically partitioned buffers this depends on the
+        destination (a full partition rejects even when other partitions
+        have room); for FIFO and DAMQ only the total free space matters.
+        """
+
+    @abstractmethod
+    def push(self, packet: Packet, destination: int) -> None:
+        """Store ``packet`` on the queue for local output ``destination``.
+
+        Raises :class:`repro.errors.BufferFullError` when it does not fit;
+        the caller decides whether that means *discard* or *block*.
+        """
+
+    def can_accept_without_prerouting(self, size: int = 1) -> bool:
+        """Whether a packet of unknown destination is guaranteed to fit.
+
+        This is the *conservative* flow-control question (Section 2): an
+        upstream transmitter that cannot pre-route a packet must assume
+        the worst-case destination queue.  For the single-pool buffers
+        (FIFO, DAMQ) this equals :meth:`can_accept`; for the statically
+        partitioned buffers it requires *every* partition to have room.
+        """
+        return all(
+            self.can_accept(destination, size)
+            for destination in range(self.num_outputs)
+        )
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def peek(self, destination: int) -> Packet | None:
+        """The packet that would be sent to ``destination`` this cycle.
+
+        ``None`` when the buffer cannot currently offer a packet for that
+        output (empty queue — or, for FIFO, a head-of-line packet bound
+        elsewhere: that is the blocking the paper is about).
+        """
+
+    @abstractmethod
+    def pop(self, destination: int) -> Packet:
+        """Remove and return the packet :meth:`peek` exposes.
+
+        Raises :class:`repro.errors.BufferEmptyError` when no packet is
+        available for ``destination``.
+        """
+
+    @abstractmethod
+    def queue_length(self, destination: int) -> int:
+        """Arbitration metric: packets the buffer holds for ``destination``.
+
+        The paper's arbiter transmits "from the longest queue"; for FIFO
+        the whole buffer is one queue, attributed to the head packet's
+        destination.
+        """
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Total slots currently in use."""
+
+    @property
+    def free_slots(self) -> int:
+        """Slots still available (whole-pool view)."""
+        return self.capacity - self.occupancy
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the buffer holds no packet at all."""
+        return self.occupancy == 0
+
+    def available_outputs(self) -> list[int]:
+        """Local outputs for which :meth:`peek` returns a packet now."""
+        return [
+            output
+            for output in range(self.num_outputs)
+            if self.peek(output) is not None
+        ]
+
+    def packets(self) -> list[Packet]:
+        """Every stored packet (order unspecified).  For tests/metrics."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, "
+            f"occupancy={self.occupancy})"
+        )

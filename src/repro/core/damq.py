@@ -1,0 +1,138 @@
+"""The dynamically allocated multi-queue (DAMQ) buffer — the contribution.
+
+One FIFO queue per output port, all sharing a single pool of slots through
+the linked-list register machinery of Section 3.1
+(:class:`repro.core.linkedlist.SlotListManager`).  The buffer therefore
+
+* never blocks a packet behind one bound for a busy output (non-FIFO
+  forwarding across queues, FIFO order within each queue), and
+* applies every free slot to whichever packet arrives next (no static
+  partitioning, so no rejections while other partitions sit empty).
+
+This class is the packet-granularity model used by the network simulator;
+the byte-granularity hardware model lives in :mod:`repro.chip`.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.linkedlist import SlotListManager
+from repro.core.packet import Packet
+from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+
+__all__ = ["DamqBuffer"]
+
+
+class DamqBuffer(SwitchBuffer):
+    """Per-output linked-list queues dynamically sharing one slot pool.
+
+    The implementation deliberately routes every operation through the
+    hardware-faithful :class:`SlotListManager` (head/tail/pointer
+    registers) rather than Python lists, so the structural invariants the
+    paper's controller maintains — slot conservation, FIFO order within a
+    list, free-list recycling — are the same ones our property tests check.
+    """
+
+    kind = "DAMQ"
+
+    def __init__(self, capacity: int, num_outputs: int) -> None:
+        super().__init__(capacity, num_outputs)
+        self._lists = SlotListManager(num_slots=capacity, num_lists=num_outputs)
+        # Slot contents: the "data RAM" next to the pointer-register file.
+        self._slot_packet: list[Packet | None] = [None] * capacity
+        # Packets (not slots) per destination queue, kept incrementally so
+        # the arbiter's longest-queue scan is O(1) per queue.
+        self._packet_counts = [0] * num_outputs
+
+    # -- write side ------------------------------------------------------
+
+    def can_accept(self, destination: int, size: int = 1) -> bool:
+        self._check_output(destination)
+        return self._lists.free_count >= size
+
+    def push(self, packet: Packet, destination: int) -> None:
+        self._check_output(destination)
+        if self._lists.free_count < packet.size:
+            raise BufferFullError(
+                f"DAMQ buffer out of slots ({self._lists.free_count} free, "
+                f"packet needs {packet.size})"
+            )
+        # A multi-slot packet occupies consecutive *list* positions (its
+        # slots are chained on the same destination list), mirroring how
+        # the chip spreads a long packet over several 8-byte slots.
+        first_slot = self._lists.allocate(destination)
+        self._slot_packet[first_slot] = packet
+        for _ in range(packet.size - 1):
+            continuation = self._lists.allocate(destination)
+            self._slot_packet[continuation] = packet
+        self._packet_counts[destination] += 1
+
+    # -- read side -------------------------------------------------------
+
+    def peek(self, destination: int) -> Packet | None:
+        self._check_output(destination)
+        # Hot path for the arbiter: read the head register directly rather
+        # than going through the empty-list/free-list indirection.
+        if self._packet_counts[destination] == 0:
+            return None
+        return self._slot_packet[self._lists._head[destination]]
+
+    def pop(self, destination: int) -> Packet:
+        self._check_output(destination)
+        if self._lists.is_empty(destination):
+            raise BufferEmptyError(f"DAMQ queue for output {destination} empty")
+        packet = self._slot_packet[self._lists.head(destination)]
+        assert packet is not None
+        for _ in range(packet.size):
+            slot = self._lists.release_head(destination)
+            self._slot_packet[slot] = None
+        self._packet_counts[destination] -= 1
+        return packet
+
+    def queue_length(self, destination: int) -> int:
+        """Packets queued for ``destination`` (not slots: a size-2 packet
+        counts once, matching how the arbiter reasons about queues)."""
+        self._check_output(destination)
+        return self._packet_counts[destination]
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return self._lists.occupancy()
+
+    def packets(self) -> list[Packet]:
+        result = []
+        seen: set[int] = set()
+        for output in range(self.num_outputs):
+            for slot in self._lists.slots(output):
+                packet = self._slot_packet[slot]
+                assert packet is not None
+                if packet.packet_id not in seen:
+                    seen.add(packet.packet_id)
+                    result.append(packet)
+        return result
+
+    def check_invariants(self) -> None:
+        """Structural self-check delegated to the register-file model."""
+        self._lists.check_invariants()
+        for output in range(self.num_outputs):
+            packet_ids = set()
+            for slot in self._lists.slots(output):
+                packet = self._slot_packet[slot]
+                assert packet is not None, f"allocated slot {slot} holds no packet"
+                packet_ids.add(packet.packet_id)
+            assert len(packet_ids) == self._packet_counts[output], (
+                f"queue {output}: cached count {self._packet_counts[output]} "
+                f"!= actual {len(packet_ids)}"
+            )
+        for slot in self._lists.free_slots():
+            assert self._slot_packet[slot] is None, (
+                f"free slot {slot} still holds a packet"
+            )
+
+    def _check_output(self, destination: int) -> None:
+        if not 0 <= destination < self.num_outputs:
+            raise ConfigurationError(
+                f"output {destination} out of range [0, {self.num_outputs})"
+            )

@@ -1,0 +1,94 @@
+"""The FIFO input buffer — the paper's "control" design (Figure 1a).
+
+A single first-in-first-out queue with one write port and one read port.
+Simple to build and trivially correct for variable-length packets, but the
+head-of-line packet blocks everything behind it whenever its output port is
+busy — the deficiency the DAMQ buffer removes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+
+__all__ = ["FifoBuffer"]
+
+
+class FifoBuffer(SwitchBuffer):
+    """Single FIFO queue shared by all output ports."""
+
+    kind = "FIFO"
+
+    def __init__(self, capacity: int, num_outputs: int) -> None:
+        super().__init__(capacity, num_outputs)
+        self._queue: deque[tuple[Packet, int]] = deque()
+        self._used = 0
+
+    # -- write side ------------------------------------------------------
+
+    def can_accept(self, destination: int, size: int = 1) -> bool:
+        self._check_output(destination)
+        return self._used + size <= self.capacity
+
+    def push(self, packet: Packet, destination: int) -> None:
+        self._check_output(destination)
+        if self._used + packet.size > self.capacity:
+            raise BufferFullError(
+                f"FIFO buffer full ({self._used}/{self.capacity} slots)"
+            )
+        self._queue.append((packet, destination))
+        self._used += packet.size
+
+    # -- read side -------------------------------------------------------
+
+    def peek(self, destination: int) -> Packet | None:
+        self._check_output(destination)
+        if not self._queue:
+            return None
+        head, head_destination = self._queue[0]
+        return head if head_destination == destination else None
+
+    def pop(self, destination: int) -> Packet:
+        packet = self.peek(destination)
+        if packet is None:
+            raise BufferEmptyError(
+                f"no head-of-line packet for output {destination}"
+            )
+        self._queue.popleft()
+        self._used -= packet.size
+        return packet
+
+    def queue_length(self, destination: int) -> int:
+        """Whole occupancy if the head packet targets ``destination``.
+
+        A FIFO buffer is one queue; for the "longest queue" arbitration
+        rule its length counts toward whichever output its head packet is
+        routed to, since that is the only packet it can offer.
+        """
+        if self.peek(destination) is None:
+            return 0
+        return self._used
+
+    def head_destination(self) -> int | None:
+        """Local output of the head-of-line packet (``None`` if empty)."""
+        if not self._queue:
+            return None
+        return self._queue[0][1]
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return self._used
+
+    def packets(self) -> list[Packet]:
+        return [packet for packet, _ in self._queue]
+
+    def _check_output(self, destination: int) -> None:
+        if not 0 <= destination < self.num_outputs:
+            raise ConfigurationError(
+                f"output {destination} out of range [0, {self.num_outputs})"
+            )

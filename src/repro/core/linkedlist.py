@@ -1,0 +1,248 @@
+"""Hardware-faithful linked-list slot manager (Section 3.1 of the paper).
+
+The DAMQ buffer keeps its packets organized as linked lists threaded through
+a pool of fixed-size slots.  Every slot has a *pointer register* naming the
+next slot of its list; every list has a *head register* and a *tail
+register*; unused slots live on a *free list*.  This module models exactly
+that register file, because both the packet-granularity
+:class:`repro.core.damq.DamqBuffer` and the byte-granularity chip model
+(:mod:`repro.chip.slots`) are built on it.
+
+A detail that matters for virtual cut-through (Section 3.2.2): when a
+destination list is empty, its head register is made to point at the *first
+slot of the free list*, so the transmitter already addresses the correct
+slot the moment a cut-through packet starts arriving.  The manager preserves
+that behaviour: :meth:`head` of an empty list returns the free-list head.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+
+__all__ = ["SlotListManager", "NO_SLOT"]
+
+#: Sentinel pointer value meaning "no next slot" (a null pointer register).
+NO_SLOT = -1
+
+
+class SlotListManager:
+    """A pool of slots threaded into one free list plus ``num_lists`` queues.
+
+    Parameters
+    ----------
+    num_slots:
+        Total number of slots in the pool.
+    num_lists:
+        Number of destination lists (e.g. one per output port the input is
+        not paired with, plus one for the processor interface — five in the
+        ComCoBB chip, with the fifth being the free list which this class
+        manages implicitly).
+
+    The manager mirrors the hardware exactly:
+
+    * one pointer register per slot (``pointer_register``),
+    * a head and tail register per list,
+    * a free-list head register (slots are returned to the free list in
+      FIFO order, as the hardware recycles them).
+    """
+
+    def __init__(self, num_slots: int, num_lists: int) -> None:
+        if num_slots < 1:
+            raise ConfigurationError("slot pool needs at least one slot")
+        if num_lists < 1:
+            raise ConfigurationError("need at least one destination list")
+        self.num_slots = num_slots
+        self.num_lists = num_lists
+        # Pointer register file: _next[s] is the slot after s in its list.
+        self._next: list[int] = [NO_SLOT] * num_slots
+        # Head/tail registers, one pair per destination list.
+        self._head: list[int] = [NO_SLOT] * num_lists
+        self._tail: list[int] = [NO_SLOT] * num_lists
+        self._length: list[int] = [0] * num_lists
+        # The free list initially chains every slot in index order.
+        for slot in range(num_slots - 1):
+            self._next[slot] = slot + 1
+        self._free_head = 0
+        self._free_tail = num_slots - 1
+        self._free_count = num_slots
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Number of slots currently on the free list."""
+        return self._free_count
+
+    def length(self, list_id: int) -> int:
+        """Number of slots currently queued on list ``list_id``."""
+        self._check_list(list_id)
+        return self._length[list_id]
+
+    def occupancy(self) -> int:
+        """Total slots in use across all destination lists."""
+        return self.num_slots - self._free_count
+
+    def is_empty(self, list_id: int) -> bool:
+        """True when list ``list_id`` holds no slot."""
+        return self.length(list_id) == 0
+
+    def peek_free(self) -> int:
+        """Slot at the head of the free list (``NO_SLOT`` when exhausted)."""
+        return self._free_head if self._free_count else NO_SLOT
+
+    def head(self, list_id: int) -> int:
+        """Value of the head register for ``list_id``.
+
+        Faithful to the hardware: an *empty* list's head register points at
+        the head of the free list so that a cut-through transmission can
+        start without waiting for pointer updates.  Returns ``NO_SLOT`` only
+        when the list is empty *and* the free list is exhausted.
+        """
+        self._check_list(list_id)
+        if self._length[list_id] == 0:
+            return self.peek_free()
+        return self._head[list_id]
+
+    def tail(self, list_id: int) -> int:
+        """Value of the tail register for ``list_id`` (``NO_SLOT`` if empty)."""
+        self._check_list(list_id)
+        return self._tail[list_id] if self._length[list_id] else NO_SLOT
+
+    def next_slot(self, slot: int) -> int:
+        """Value of ``slot``'s pointer register."""
+        self._check_slot(slot)
+        return self._next[slot]
+
+    def slots(self, list_id: int) -> list[int]:
+        """The slots of ``list_id`` in queue order (head first)."""
+        self._check_list(list_id)
+        result = []
+        slot = self._head[list_id]
+        for _ in range(self._length[list_id]):
+            result.append(slot)
+            slot = self._next[slot]
+        return result
+
+    def free_slots(self) -> list[int]:
+        """The slots of the free list in order (head first)."""
+        result = []
+        slot = self._free_head
+        for _ in range(self._free_count):
+            result.append(slot)
+            slot = self._next[slot]
+        return result
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def allocate(self, list_id: int) -> int:
+        """Move the free-list head slot to the tail of ``list_id``.
+
+        This is the receive-side operation of Section 3.2.1: take a slot
+        from the free list, then point the old tail's pointer register at
+        it and update the tail register.
+
+        Returns the slot index.  Raises :class:`BufferFullError` when the
+        free list is empty.
+        """
+        self._check_list(list_id)
+        if self._free_count == 0:
+            raise BufferFullError("no free slot available")
+        slot = self._free_head
+        self._free_head = self._next[slot]
+        self._free_count -= 1
+        if self._free_count == 0:
+            self._free_head = NO_SLOT
+            self._free_tail = NO_SLOT
+        self._next[slot] = NO_SLOT
+        if self._length[list_id] == 0:
+            self._head[list_id] = slot
+        else:
+            self._next[self._tail[list_id]] = slot
+        self._tail[list_id] = slot
+        self._length[list_id] += 1
+        return slot
+
+    def release_head(self, list_id: int) -> int:
+        """Pop the head slot of ``list_id`` and return it to the free list.
+
+        This is the transmit-side operation of Section 3.2.2: the head
+        register advances to the slot named by the departing slot's pointer
+        register, and the departing slot is appended to the free list.
+        """
+        self._check_list(list_id)
+        if self._length[list_id] == 0:
+            raise BufferEmptyError(f"list {list_id} is empty")
+        slot = self._head[list_id]
+        self._head[list_id] = self._next[slot]
+        self._length[list_id] -= 1
+        if self._length[list_id] == 0:
+            self._head[list_id] = NO_SLOT
+            self._tail[list_id] = NO_SLOT
+        self._append_free(slot)
+        return slot
+
+    def _append_free(self, slot: int) -> None:
+        """Append ``slot`` to the tail of the free list."""
+        self._next[slot] = NO_SLOT
+        if self._free_count == 0:
+            self._free_head = slot
+        else:
+            self._next[self._free_tail] = slot
+        self._free_tail = slot
+        self._free_count += 1
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert slot conservation: every slot on exactly one list.
+
+        Raises :class:`AssertionError` on corruption.  Exercised heavily by
+        the property-based tests.
+        """
+        seen: set[int] = set()
+        for list_id in range(self.num_lists):
+            chain = self.slots(list_id)
+            assert len(chain) == self._length[list_id], (
+                f"list {list_id}: chain length {len(chain)} != register "
+                f"{self._length[list_id]}"
+            )
+            if chain:
+                assert self._tail[list_id] == chain[-1], (
+                    f"list {list_id}: tail register does not point at last slot"
+                )
+                assert self._next[chain[-1]] == NO_SLOT, (
+                    f"list {list_id}: last slot pointer register not null"
+                )
+            for slot in chain:
+                assert slot not in seen, f"slot {slot} appears on two lists"
+                seen.add(slot)
+        free = self.free_slots()
+        assert len(free) == self._free_count, "free-list length mismatch"
+        for slot in free:
+            assert slot not in seen, f"slot {slot} both free and allocated"
+            seen.add(slot)
+        assert seen == set(range(self.num_slots)), (
+            f"lost slots: {set(range(self.num_slots)) - seen}"
+        )
+
+    def _check_list(self, list_id: int) -> None:
+        if not 0 <= list_id < self.num_lists:
+            raise ConfigurationError(
+                f"list id {list_id} out of range [0, {self.num_lists})"
+            )
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise ConfigurationError(
+                f"slot {slot} out of range [0, {self.num_slots})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lists = {lid: self.slots(lid) for lid in range(self.num_lists)}
+        return f"SlotListManager(free={self.free_slots()}, lists={lists})"

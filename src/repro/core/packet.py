@@ -1,0 +1,152 @@
+"""Packet and message models shared by the switch- and network-level code.
+
+The network simulator (Section 4.2 of the paper) works at *packet*
+granularity: a packet is the unit that is buffered, arbitrated and
+transmitted in one synchronized network cycle.  The chip model
+(:mod:`repro.chip`) works at *byte* granularity and has its own wire-level
+representation; it uses :class:`Message` to describe what the host asks it
+to send.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Packet", "Message", "PacketFactory"]
+
+#: Packet payload bounds of the ComCoBB system (Section 3): one to thirty-two
+#: bytes of data per packet; only the last packet of a message may be short.
+MIN_PACKET_BYTES = 1
+MAX_PACKET_BYTES = 32
+
+
+@dataclass
+class Packet:
+    """A routable unit of data.
+
+    Parameters
+    ----------
+    packet_id:
+        Unique identifier (for tracing and latency bookkeeping).
+    source:
+        Index of the injecting network input (processor).
+    destination:
+        Index of the network output (memory module) the packet targets.
+    created_at:
+        Clock cycle at which the generator created the packet.  Latency is
+        measured from here to delivery.
+    route:
+        Pre-computed local output-port index at each stage of the network
+        (self-routing, as an Omega network does with destination bits).
+    size:
+        Packet length in buffer slots.  The paper's network evaluation uses
+        fixed-length packets (``size == 1``); the variable-length extension
+        sets larger sizes.
+    """
+
+    packet_id: int
+    source: int
+    destination: int
+    created_at: int = 0
+    route: tuple[int, ...] = ()
+    size: int = 1
+    hop: int = 0
+    injected_at: int | None = None
+    delivered_at: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"packet size must be >= 1, got {self.size}")
+
+    @property
+    def hops_remaining(self) -> int:
+        """Number of switch traversals still ahead of this packet."""
+        return len(self.route) - self.hop
+
+    def output_port_at_current_hop(self) -> int:
+        """Local output-port index at the switch currently holding the packet."""
+        if self.hop >= len(self.route):
+            raise ConfigurationError(
+                f"packet {self.packet_id} has no route entry for hop {self.hop}"
+            )
+        return self.route[self.hop]
+
+    def advance_hop(self) -> None:
+        """Record that the packet crossed one switch."""
+        self.hop += 1
+
+    def latency(self) -> int:
+        """End-to-end latency in clock cycles (generation to delivery)."""
+        if self.delivered_at is None:
+            raise ConfigurationError(f"packet {self.packet_id} not delivered yet")
+        return self.delivered_at - self.created_at
+
+    def network_latency(self) -> int:
+        """Latency from injection into the first stage to delivery."""
+        if self.delivered_at is None or self.injected_at is None:
+            raise ConfigurationError(f"packet {self.packet_id} not delivered yet")
+        return self.delivered_at - self.injected_at
+
+
+@dataclass
+class Message:
+    """A host-level message, possibly spanning several packets.
+
+    The ComCoBB protocol (Section 3) splits a message into packets of up to
+    32 data bytes; only the final packet may be shorter.  ``circuit`` names
+    the virtual circuit the message travels on.
+    """
+
+    message_id: int
+    circuit: int
+    payload: bytes
+    created_at: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.payload) < 1:
+            raise ConfigurationError("a message carries at least one byte")
+
+    def packet_payloads(self) -> list[bytes]:
+        """Split the payload into per-packet chunks per the ComCoBB rules."""
+        chunks = [
+            self.payload[i : i + MAX_PACKET_BYTES]
+            for i in range(0, len(self.payload), MAX_PACKET_BYTES)
+        ]
+        return chunks
+
+    @property
+    def packet_count(self) -> int:
+        """Number of packets the message occupies on the wire."""
+        return (len(self.payload) + MAX_PACKET_BYTES - 1) // MAX_PACKET_BYTES
+
+
+@dataclass
+class PacketFactory:
+    """Mints :class:`Packet` objects with sequential ids.
+
+    A single factory per simulation keeps packet ids unique across all
+    traffic generators, which the delivery-accounting assertions rely on.
+    """
+
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def create(
+        self,
+        source: int,
+        destination: int,
+        created_at: int = 0,
+        route: tuple[int, ...] = (),
+        size: int = 1,
+    ) -> Packet:
+        """Create a new packet with the next unique id."""
+        return Packet(
+            packet_id=next(self._counter),
+            source=source,
+            destination=destination,
+            created_at=created_at,
+            route=route,
+            size=size,
+        )

@@ -1,0 +1,61 @@
+"""Name-based construction of buffer architectures.
+
+The experiment harness sweeps over buffer types by name ("FIFO", "SAMQ",
+"SAFC", "DAMQ"); this registry maps those names to classes and builds
+instances, validating the capacity constraints each type imposes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.damq import DamqBuffer
+from repro.core.fifo import FifoBuffer
+from repro.core.safc import SafcBuffer
+from repro.core.samq import SamqBuffer
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BUFFER_TYPES",
+    "PAPER_ORDER",
+    "buffer_class",
+    "make_buffer",
+    "make_buffer_factory",
+]
+
+#: All buffer architectures evaluated in the paper, by table name.
+BUFFER_TYPES: dict[str, type[SwitchBuffer]] = {
+    "FIFO": FifoBuffer,
+    "SAMQ": SamqBuffer,
+    "SAFC": SafcBuffer,
+    "DAMQ": DamqBuffer,
+}
+
+#: Row order used by the paper's evaluation tables.
+PAPER_ORDER = ("FIFO", "SAMQ", "SAFC", "DAMQ")
+
+
+def buffer_class(kind: str) -> type[SwitchBuffer]:
+    """Look up a buffer class by its table name (case-insensitive)."""
+    try:
+        return BUFFER_TYPES[kind.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown buffer type {kind!r}; expected one of {sorted(BUFFER_TYPES)}"
+        ) from None
+
+
+def make_buffer(kind: str, capacity: int, num_outputs: int) -> SwitchBuffer:
+    """Instantiate one buffer of the named architecture."""
+    return buffer_class(kind)(capacity, num_outputs)
+
+
+def make_buffer_factory(kind: str, capacity: int) -> Callable[[int], SwitchBuffer]:
+    """Return ``factory(num_outputs) -> SwitchBuffer`` for switch builders."""
+    cls = buffer_class(kind)
+
+    def factory(num_outputs: int) -> SwitchBuffer:
+        return cls(capacity, num_outputs)
+
+    return factory

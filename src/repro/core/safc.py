@@ -1,0 +1,32 @@
+"""The statically allocated fully connected (SAFC) buffer (Figure 1b).
+
+Storage-wise identical to SAMQ — per-output queues with statically
+partitioned slots — but each queue has its *own* path to its output port
+(four 4×1 switches instead of one 4×4 crossbar in the paper's figure).
+An input port can therefore feed several output ports in the same cycle.
+The cost is replicated datapaths and controllers and a 4× flow-control
+problem, which is why the paper finds its modest throughput edge over SAMQ
+not worth the hardware.
+"""
+
+from __future__ import annotations
+
+from repro.core.samq import SamqBuffer
+
+__all__ = ["SafcBuffer"]
+
+
+class SafcBuffer(SamqBuffer):
+    """SAMQ storage with a fully connected (multi-read) output path.
+
+    The only behavioural difference from :class:`SamqBuffer` is
+    ``max_reads_per_cycle``: the crossbar arbiter may grant this buffer one
+    packet per *output port* per cycle instead of one packet total.
+    """
+
+    kind = "SAFC"
+
+    def __init__(self, capacity: int, num_outputs: int) -> None:
+        super().__init__(capacity, num_outputs)
+        # One dedicated read path per output port.
+        self.max_reads_per_cycle = num_outputs

@@ -1,0 +1,96 @@
+"""The statically allocated multi-queue (SAMQ) buffer (Figure 1c).
+
+One FIFO queue per output port inside a single buffer, with the slot pool
+*statically* partitioned: each output owns ``capacity / num_outputs`` slots
+regardless of demand.  A single read port, so the buffer can feed at most
+one output per cycle (unlike SAFC).  Cheaper than SAFC — the switch needs
+only a plain crossbar — but packets are rejected whenever their partition
+is full, even while other partitions sit empty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+
+__all__ = ["SamqBuffer"]
+
+
+class SamqBuffer(SwitchBuffer):
+    """Statically partitioned per-output queues behind one read port."""
+
+    kind = "SAMQ"
+
+    def __init__(self, capacity: int, num_outputs: int) -> None:
+        super().__init__(capacity, num_outputs)
+        if capacity % num_outputs != 0:
+            # The paper notes SAMQ/SAFC buffers "can only have an even
+            # number of slots" in the 2x2 case: the partition must divide.
+            raise ConfigurationError(
+                f"SAMQ capacity {capacity} is not divisible by "
+                f"{num_outputs} output ports"
+            )
+        self.partition_capacity = capacity // num_outputs
+        self._queues: list[deque[Packet]] = [deque() for _ in range(num_outputs)]
+        self._used: list[int] = [0] * num_outputs
+
+    # -- write side ------------------------------------------------------
+
+    def can_accept(self, destination: int, size: int = 1) -> bool:
+        self._check_output(destination)
+        return self._used[destination] + size <= self.partition_capacity
+
+    def push(self, packet: Packet, destination: int) -> None:
+        self._check_output(destination)
+        if self._used[destination] + packet.size > self.partition_capacity:
+            raise BufferFullError(
+                f"{self.kind} partition for output {destination} full "
+                f"({self._used[destination]}/{self.partition_capacity})"
+            )
+        self._queues[destination].append(packet)
+        self._used[destination] += packet.size
+
+    # -- read side -------------------------------------------------------
+
+    def peek(self, destination: int) -> Packet | None:
+        self._check_output(destination)
+        queue = self._queues[destination]
+        return queue[0] if queue else None
+
+    def pop(self, destination: int) -> Packet:
+        self._check_output(destination)
+        queue = self._queues[destination]
+        if not queue:
+            raise BufferEmptyError(
+                f"{self.kind} queue for output {destination} empty"
+            )
+        packet = queue.popleft()
+        self._used[destination] -= packet.size
+        return packet
+
+    def queue_length(self, destination: int) -> int:
+        self._check_output(destination)
+        return len(self._queues[destination])
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return sum(self._used)
+
+    def partition_occupancy(self, destination: int) -> int:
+        """Slots used inside one static partition."""
+        self._check_output(destination)
+        return self._used[destination]
+
+    def packets(self) -> list[Packet]:
+        return [packet for queue in self._queues for packet in queue]
+
+    def _check_output(self, destination: int) -> None:
+        if not 0 <= destination < self.num_outputs:
+            raise ConfigurationError(
+                f"output {destination} out of range [0, {self.num_outputs})"
+            )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class BufferFullError(ReproError):
+    """Raised when a packet is offered to a buffer that cannot accept it.
+
+    Under the *discarding* protocol the switch catches this condition and
+    counts the packet as discarded; under the *blocking* protocol the
+    upstream transmitter is stalled instead and the error should never
+    propagate out of the flow-control layer.
+    """
+
+
+class BufferEmptyError(ReproError):
+    """Raised when a read is attempted from a queue that holds no packet."""
+
+
+class RoutingError(ReproError):
+    """Raised when a packet cannot be routed (bad destination or table)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with inconsistent parameters."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a hardware-model component observes an illegal sequence.
+
+    Examples: starting a new packet transmission on a link whose previous
+    packet has not finished, or connecting a crossbar input to two outputs
+    at once.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation reaches an internally inconsistent state."""

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure.
+
+Use :func:`repro.experiments.runner.run_experiment` (or the CLI,
+``python -m repro.experiments``) to regenerate any artifact.  Each module
+also exposes its parameters so tests and benchmarks can assert on the
+underlying data rather than on formatted strings.
+"""
+
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["ExperimentResult"]

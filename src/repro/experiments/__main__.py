@@ -1,0 +1,68 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples
+--------
+Run everything at full fidelity (slow, tens of minutes)::
+
+    python -m repro.experiments
+
+Run selected experiments quickly::
+
+    python -m repro.experiments table2 table4 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested experiments, print reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Tamir & Frazier "
+        "(ISCA 1988).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shortened simulation windows (noisier, much faster)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1988, help="root random seed"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's tables as CSV files into DIR",
+    )
+    args = parser.parse_args(argv)
+    requested = args.experiments or list(EXPERIMENTS)
+    for experiment_id in requested:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, quick=args.quick, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        if args.csv_dir is not None:
+            from repro.experiments.export import export_result
+
+            for path in export_result(result, args.csv_dir):
+                print(f"wrote {path}")
+        print(f"\n({experiment_id} completed in {elapsed:.1f}s)\n")
+        print("=" * 72)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Export experiment results to CSV for external plotting.
+
+``python -m repro.experiments table4 --csv-dir results/`` writes one CSV
+per table of each experiment, named ``<experiment>_<n>.csv``.  The CSV
+mirrors the printed table: header row from the column names, then data
+rows.  Values keep the table's formatting (the printed tables are the
+canonical artifact; CSV is a convenience for plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+
+from repro.experiments.report import ExperimentResult
+from repro.utils.tables import TextTable
+
+__all__ = ["export_result", "export_table", "slugify"]
+
+
+def slugify(text: str) -> str:
+    """File-name-safe slug of a table title."""
+    slug = re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+    return slug[:60] or "table"
+
+
+def export_table(table: TextTable, path: Path) -> Path:
+    """Write one table as CSV; returns the path written."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+    return path
+
+
+def export_result(result: ExperimentResult, directory: Path | str) -> list[Path]:
+    """Write every table of an experiment; returns the paths written."""
+    directory = Path(directory)
+    written = []
+    for index, table in enumerate(result.tables):
+        name = f"{result.experiment_id}_{index}_{slugify(table.title)}.csv"
+        written.append(export_table(table, directory / name))
+    return written

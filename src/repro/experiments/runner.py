@@ -1,0 +1,67 @@
+"""Registry and driver for all paper experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ext_radix,
+    ext_slotsize,
+    ext_validation,
+    ext_varlen,
+    figure1,
+    figure3,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "PAPER_EXPERIMENTS", "run_experiment", "run_all"]
+
+#: The paper's own artifacts, by id.
+PAPER_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure1": figure1.run,
+    "figure3": figure3.run,
+}
+
+#: All experiments: the paper's plus this reproduction's extensions.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    "ext-varlen": ext_varlen.run,
+    "ext-slotsize": ext_slotsize.run,
+    "ext-validation": ext_validation.run,
+    "ext-radix": ext_radix.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = False, seed: int = 1988
+) -> ExperimentResult:
+    """Run one experiment by id ("table2", "figure3", ...)."""
+    try:
+        runner = EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick, seed=seed)
+
+
+def run_all(quick: bool = False, seed: int = 1988) -> list[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [
+        run_experiment(experiment_id, quick=quick, seed=seed)
+        for experiment_id in EXPERIMENTS
+    ]

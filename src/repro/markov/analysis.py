@@ -1,0 +1,91 @@
+"""High-level driver for the Table 2 Markov analysis.
+
+Builds each switch chain once and evaluates it across the paper's traffic
+grid, caching builders so repeated queries (tests, benchmarks, the table
+generator) stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.markov.models import SwitchChainBuilder, SwitchSteadyState
+
+__all__ = [
+    "PAPER_TRAFFIC_GRID",
+    "PAPER_BUFFER_SIZES",
+    "DiscardTable",
+    "discard_probability",
+    "analyze_switch",
+    "discard_table",
+]
+
+#: Traffic rates of Table 2, as fractions of link capacity.
+PAPER_TRAFFIC_GRID = (0.25, 0.50, 0.75, 0.80, 0.85, 0.90, 0.95, 0.99)
+
+#: Buffer sizes of Table 2 per architecture.  The statically partitioned
+#: buffers only admit sizes divisible by the number of output ports.
+PAPER_BUFFER_SIZES = {
+    "FIFO": (2, 3, 4, 5, 6),
+    "DAMQ": (2, 3, 4, 5, 6),
+    "SAMQ": (2, 4, 6),
+    "SAFC": (2, 4, 6),
+}
+
+_BUILDER_CACHE: dict[tuple[str, int, int], SwitchChainBuilder] = {}
+
+
+def _builder(buffer_kind: str, slots: int, num_ports: int) -> SwitchChainBuilder:
+    key = (buffer_kind.upper(), slots, num_ports)
+    if key not in _BUILDER_CACHE:
+        _BUILDER_CACHE[key] = SwitchChainBuilder(buffer_kind, slots, num_ports)
+    return _BUILDER_CACHE[key]
+
+
+def analyze_switch(
+    buffer_kind: str, slots: int, traffic_rate: float, num_ports: int = 2
+) -> SwitchSteadyState:
+    """Full steady-state summary for one configuration point."""
+    return _builder(buffer_kind, slots, num_ports).analyze(traffic_rate)
+
+
+def discard_probability(
+    buffer_kind: str, slots: int, traffic_rate: float, num_ports: int = 2
+) -> float:
+    """Probability an arriving packet is discarded (a Table 2 cell)."""
+    return analyze_switch(
+        buffer_kind, slots, traffic_rate, num_ports
+    ).discard_probability
+
+
+@dataclass(frozen=True)
+class DiscardTable:
+    """All discard probabilities for one buffer architecture.
+
+    ``rows`` maps a buffer size to the tuple of discard probabilities in
+    traffic-grid order.
+    """
+
+    buffer_kind: str
+    traffic_grid: tuple[float, ...]
+    rows: dict[int, tuple[float, ...]]
+
+
+def discard_table(
+    buffer_kind: str,
+    sizes: tuple[int, ...] | None = None,
+    traffic_grid: tuple[float, ...] = PAPER_TRAFFIC_GRID,
+    num_ports: int = 2,
+) -> DiscardTable:
+    """Compute one architecture's block of Table 2."""
+    kind = buffer_kind.upper()
+    if sizes is None:
+        sizes = PAPER_BUFFER_SIZES[kind]
+    rows = {
+        slots: tuple(
+            discard_probability(kind, slots, rate, num_ports)
+            for rate in traffic_grid
+        )
+        for slots in sizes
+    }
+    return DiscardTable(buffer_kind=kind, traffic_grid=traffic_grid, rows=rows)

@@ -1,0 +1,88 @@
+"""Arbitration model for the Markov analysis (Section 4.1).
+
+The paper states the policy: "send two packets if at all possible, or to
+send a packet from the longest queue if not".  This module enumerates the
+possible service decisions for a joint buffer state:
+
+1. collect every *request* — an (input, output) pair for which the input's
+   buffer can offer a packet;
+2. enumerate the feasible service sets: at most one packet per output, and
+   at most ``max_serves_per_cycle`` packets per input (one, except SAFC);
+3. keep the sets of maximum size (send as many packets as possible);
+4. among those, keep the sets serving the longest queues (comparing the
+   multiset of served queue lengths, longest first);
+5. split probability uniformly over any remaining ties, keeping the chain
+   symmetric where the hardware would alternate.
+
+The enumeration is exact and exhaustive; it is intended for the small
+switches of the Markov analysis (2×2 in the paper), where the request set
+has at most four elements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Sequence
+from fractions import Fraction
+
+from repro.markov.ports import PortModel
+
+__all__ = ["ServiceOutcome", "service_outcomes"]
+
+#: One service decision: probability weight and the (input, output) pairs
+#: transmitted this cycle.
+ServiceOutcome = tuple[Fraction, tuple[tuple[int, int], ...]]
+
+
+def service_outcomes(
+    model: PortModel, port_states: Sequence[Hashable]
+) -> list[ServiceOutcome]:
+    """All service decisions for one joint state, with tie probabilities.
+
+    Returns a list of ``(probability, served_pairs)`` whose probabilities
+    sum to 1.  ``served_pairs`` is sorted for determinism.
+    """
+    lengths = [model.queue_lengths(state) for state in port_states]
+    requests = [
+        (input_port, output)
+        for input_port, port_lengths in enumerate(lengths)
+        for output, length in enumerate(port_lengths)
+        if length > 0
+    ]
+    if not requests:
+        return [(Fraction(1), ())]
+
+    feasible: list[tuple[tuple[int, int], ...]] = []
+    for size in range(1, len(requests) + 1):
+        for subset in itertools.combinations(requests, size):
+            outputs = [pair[1] for pair in subset]
+            if len(set(outputs)) != len(outputs):
+                continue
+            per_input: dict[int, int] = {}
+            for input_port, _ in subset:
+                per_input[input_port] = per_input.get(input_port, 0) + 1
+            if any(
+                count > model.max_serves_per_cycle
+                for count in per_input.values()
+            ):
+                continue
+            feasible.append(subset)
+
+    max_size = max(len(subset) for subset in feasible)
+    candidates = [subset for subset in feasible if len(subset) == max_size]
+
+    def score(subset: tuple[tuple[int, int], ...]) -> tuple[int, ...]:
+        """Served queue lengths, longest first (the arbitration metric)."""
+        return tuple(
+            sorted(
+                (lengths[input_port][output] for input_port, output in subset),
+                reverse=True,
+            )
+        )
+
+    best = max(score(subset) for subset in candidates)
+    winners = sorted(
+        tuple(sorted(subset)) for subset in candidates if score(subset) == best
+    )
+    weight = Fraction(1, len(winners))
+    return [(weight, subset) for subset in winners]

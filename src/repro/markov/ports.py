@@ -1,0 +1,237 @@
+"""State-space models of one input port's buffer, for the Markov analysis.
+
+Under the paper's "long clock" assumption (fixed-length packets that
+completely arrive or completely depart within one cycle) a buffer's state
+collapses to a small discrete description:
+
+* **FIFO** — the ordered tuple of queued packets' destinations (order
+  matters: only the head is servable);
+* **DAMQ** — the per-destination packet counts ``(n_0, …)`` with their sum
+  bounded by the shared capacity (order within a destination queue is
+  irrelevant because service is FIFO per destination);
+* **SAMQ / SAFC** — per-destination counts each bounded by the static
+  partition size.
+
+These classes provide pure-functional state transitions (states are
+hashable tuples) that :mod:`repro.markov.models` composes into the 2×2
+switch chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PortModel",
+    "FifoPortModel",
+    "DamqPortModel",
+    "SamqPortModel",
+    "SafcPortModel",
+    "port_model",
+]
+
+
+class PortModel(ABC):
+    """Pure-functional model of one buffer's state under the long clock."""
+
+    kind: str = "abstract"
+
+    #: How many packets the port can transmit in one cycle (SAFC: one per
+    #: output; everything else: one total).
+    max_serves_per_cycle: int = 1
+
+    def __init__(self, capacity: int, num_outputs: int = 2) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
+        if num_outputs < 2:
+            raise ConfigurationError("need at least two outputs")
+        self.capacity = capacity
+        self.num_outputs = num_outputs
+
+    @abstractmethod
+    def enumerate_states(self) -> list[Hashable]:
+        """Every reachable buffer state, starting with the empty state."""
+
+    @abstractmethod
+    def queue_lengths(self, state: Hashable) -> tuple[int, ...]:
+        """Arbitration metric per output: length of the servable queue.
+
+        Zero means the port cannot offer a packet for that output this
+        cycle (empty queue, or — FIFO — a head bound elsewhere).
+        """
+
+    @abstractmethod
+    def serve(self, state: Hashable, output: int) -> Hashable:
+        """State after transmitting the head packet for ``output``."""
+
+    @abstractmethod
+    def can_accept(self, state: Hashable, destination: int) -> bool:
+        """Whether an arriving packet routed to ``destination`` fits."""
+
+    @abstractmethod
+    def accept(self, state: Hashable, destination: int) -> Hashable:
+        """State after storing a packet routed to ``destination``."""
+
+    @abstractmethod
+    def occupancy(self, state: Hashable) -> int:
+        """Packets held in ``state`` (for sanity checks and tests)."""
+
+    def empty_state(self) -> Hashable:
+        """The state of a freshly reset buffer."""
+        return self.enumerate_states()[0]
+
+
+class FifoPortModel(PortModel):
+    """FIFO buffer: state is the destination sequence, head first."""
+
+    kind = "FIFO"
+
+    def enumerate_states(self) -> list[Hashable]:
+        states: list[Hashable] = []
+        for length in range(self.capacity + 1):
+            states.extend(
+                itertools.product(range(self.num_outputs), repeat=length)
+            )
+        return states
+
+    def queue_lengths(self, state) -> tuple[int, ...]:
+        lengths = [0] * self.num_outputs
+        if state:
+            # The whole buffer counts as one queue attributed to the head
+            # packet's destination — the only packet FIFO can offer.
+            lengths[state[0]] = len(state)
+        return tuple(lengths)
+
+    def serve(self, state, output: int):
+        if not state or state[0] != output:
+            raise ConfigurationError(f"state {state} cannot serve output {output}")
+        return state[1:]
+
+    def can_accept(self, state, destination: int) -> bool:
+        return len(state) < self.capacity
+
+    def accept(self, state, destination: int):
+        if not self.can_accept(state, destination):
+            raise ConfigurationError(f"state {state} is full")
+        return state + (destination,)
+
+    def occupancy(self, state) -> int:
+        return len(state)
+
+
+class DamqPortModel(PortModel):
+    """DAMQ buffer: per-destination counts sharing ``capacity`` slots."""
+
+    kind = "DAMQ"
+
+    def enumerate_states(self) -> list[Hashable]:
+        states = []
+        for counts in itertools.product(
+            range(self.capacity + 1), repeat=self.num_outputs
+        ):
+            if sum(counts) <= self.capacity:
+                states.append(counts)
+        states.sort(key=lambda counts: (sum(counts), counts))
+        return states
+
+    def queue_lengths(self, state) -> tuple[int, ...]:
+        return tuple(state)
+
+    def serve(self, state, output: int):
+        if state[output] == 0:
+            raise ConfigurationError(f"state {state} cannot serve output {output}")
+        served = list(state)
+        served[output] -= 1
+        return tuple(served)
+
+    def can_accept(self, state, destination: int) -> bool:
+        return sum(state) < self.capacity
+
+    def accept(self, state, destination: int):
+        if not self.can_accept(state, destination):
+            raise ConfigurationError(f"state {state} is full")
+        accepted = list(state)
+        accepted[destination] += 1
+        return tuple(accepted)
+
+    def occupancy(self, state) -> int:
+        return sum(state)
+
+
+class SamqPortModel(PortModel):
+    """SAMQ buffer: per-destination counts with static partitions."""
+
+    kind = "SAMQ"
+
+    def __init__(self, capacity: int, num_outputs: int = 2) -> None:
+        super().__init__(capacity, num_outputs)
+        if capacity % num_outputs != 0:
+            raise ConfigurationError(
+                f"SAMQ capacity {capacity} not divisible by {num_outputs}"
+            )
+        self.partition = capacity // num_outputs
+
+    def enumerate_states(self) -> list[Hashable]:
+        states = list(
+            itertools.product(range(self.partition + 1), repeat=self.num_outputs)
+        )
+        states.sort(key=lambda counts: (sum(counts), counts))
+        return states
+
+    def queue_lengths(self, state) -> tuple[int, ...]:
+        return tuple(state)
+
+    def serve(self, state, output: int):
+        if state[output] == 0:
+            raise ConfigurationError(f"state {state} cannot serve output {output}")
+        served = list(state)
+        served[output] -= 1
+        return tuple(served)
+
+    def can_accept(self, state, destination: int) -> bool:
+        return state[destination] < self.partition
+
+    def accept(self, state, destination: int):
+        if not self.can_accept(state, destination):
+            raise ConfigurationError(
+                f"partition {destination} of state {state} is full"
+            )
+        accepted = list(state)
+        accepted[destination] += 1
+        return tuple(accepted)
+
+    def occupancy(self, state) -> int:
+        return sum(state)
+
+
+class SafcPortModel(SamqPortModel):
+    """SAFC buffer: SAMQ storage, but every queue can transmit each cycle."""
+
+    kind = "SAFC"
+
+    def __init__(self, capacity: int, num_outputs: int = 2) -> None:
+        super().__init__(capacity, num_outputs)
+        self.max_serves_per_cycle = num_outputs
+
+
+_PORT_MODELS: dict[str, type[PortModel]] = {
+    "FIFO": FifoPortModel,
+    "DAMQ": DamqPortModel,
+    "SAMQ": SamqPortModel,
+    "SAFC": SafcPortModel,
+}
+
+
+def port_model(kind: str, capacity: int, num_outputs: int = 2) -> PortModel:
+    """Construct a port model by buffer-architecture name."""
+    try:
+        cls = _PORT_MODELS[kind.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown buffer type {kind!r}; expected one of {sorted(_PORT_MODELS)}"
+        ) from None
+    return cls(capacity, num_outputs)

@@ -1,0 +1,154 @@
+"""Cross-validation of the Markov chains against direct simulation.
+
+The Markov analysis (Section 4.1) and the network simulator (Section 4.2)
+are independent implementations of the same switch behaviour.  This module
+closes the loop: a Monte-Carlo simulator of a *single* discarding switch
+under exactly the long-clock assumptions of the chains — fixed-length
+packets, transmit-then-receive cycle order, "send two if possible, else
+longest queue" arbitration with uniformly split ties — whose measured
+discard rate must converge to the chain's steady-state prediction.
+
+Used by the test suite as a powerful consistency check (an error in either
+the chain compiler or the arbitration enumeration shows up as a
+statistically significant disagreement) and by the
+``markov_vs_simulation`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.markov.arbitration import service_outcomes
+from repro.markov.models import SwitchChainBuilder
+from repro.markov.ports import PortModel, port_model
+from repro.utils.rng import RandomStream
+
+__all__ = ["LongClockSwitchSimulator", "ValidationReport", "validate"]
+
+
+class LongClockSwitchSimulator:
+    """Monte-Carlo twin of one :class:`SwitchChainBuilder` configuration.
+
+    State evolution reuses the *same* pure-functional port models and the
+    same arbitration enumeration as the chain compiler; only the
+    probabilistic choices (arrivals, tie-breaks) are sampled instead of
+    enumerated.  Agreement therefore validates the chain assembly and the
+    steady-state solver — the parts that are easy to get subtly wrong.
+    """
+
+    def __init__(
+        self,
+        buffer_kind: str,
+        slots_per_port: int,
+        traffic_rate: float,
+        num_ports: int = 2,
+        seed: int = 7,
+    ) -> None:
+        self.model: PortModel = port_model(
+            buffer_kind, slots_per_port, num_outputs=num_ports
+        )
+        self.num_ports = num_ports
+        self.traffic_rate = traffic_rate
+        self.rng = RandomStream(seed, f"longclock/{buffer_kind}/{slots_per_port}")
+        self.states = [self.model.empty_state() for _ in range(num_ports)]
+        self.arrivals = 0
+        self.discards = 0
+        self.serves = 0
+        self.cycles = 0
+
+    def step(self) -> None:
+        """One long-clock cycle: transmit, then receive."""
+        outcomes = service_outcomes(self.model, self.states)
+        if len(outcomes) == 1:
+            served = outcomes[0][1]
+        else:
+            # Ties were enumerated with equal weights; sample one.
+            served = self.rng.choice([outcome[1] for outcome in outcomes])
+        for input_port, output in served:
+            self.states[input_port] = self.model.serve(
+                self.states[input_port], output
+            )
+        self.serves += len(served)
+        for input_port in range(self.num_ports):
+            if not self.rng.bernoulli(self.traffic_rate):
+                continue
+            self.arrivals += 1
+            destination = self.rng.randint(0, self.num_ports)
+            if self.model.can_accept(self.states[input_port], destination):
+                self.states[input_port] = self.model.accept(
+                    self.states[input_port], destination
+                )
+            else:
+                self.discards += 1
+        self.cycles += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    @property
+    def discard_rate(self) -> float:
+        """Fraction of arrived packets that were discarded."""
+        return self.discards / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Packets transmitted per cycle per output port."""
+        if self.cycles == 0:
+            return 0.0
+        return self.serves / (self.cycles * self.num_ports)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one analytic-vs-Monte-Carlo comparison."""
+
+    buffer_kind: str
+    slots_per_port: int
+    traffic_rate: float
+    analytic_discard: float
+    simulated_discard: float
+    analytic_throughput: float
+    simulated_throughput: float
+    cycles: int
+
+    @property
+    def discard_error(self) -> float:
+        """Absolute difference between prediction and measurement."""
+        return abs(self.analytic_discard - self.simulated_discard)
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.buffer_kind:5s} slots={self.slots_per_port} "
+            f"p={self.traffic_rate:.2f}: analytic {self.analytic_discard:.4f} "
+            f"vs simulated {self.simulated_discard:.4f} "
+            f"({self.cycles} cycles)"
+        )
+
+
+def validate(
+    buffer_kind: str,
+    slots_per_port: int,
+    traffic_rate: float,
+    cycles: int = 200_000,
+    seed: int = 7,
+) -> ValidationReport:
+    """Compare one chain's prediction against a Monte-Carlo run."""
+    builder = SwitchChainBuilder(buffer_kind, slots_per_port)
+    analytic = builder.analyze(traffic_rate)
+    simulator = LongClockSwitchSimulator(
+        buffer_kind, slots_per_port, traffic_rate, seed=seed
+    )
+    simulator.run(cycles)
+    return ValidationReport(
+        buffer_kind=buffer_kind.upper(),
+        slots_per_port=slots_per_port,
+        traffic_rate=traffic_rate,
+        analytic_discard=analytic.discard_probability,
+        simulated_discard=simulator.discard_rate,
+        analytic_throughput=analytic.throughput,
+        simulated_throughput=simulator.throughput,
+        cycles=cycles,
+    )

@@ -1,0 +1,107 @@
+"""Measurement machinery and result records for network simulations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.utils.stats import OnlineStats
+
+__all__ = ["Meters", "SimulationResult"]
+
+
+@dataclass
+class Meters:
+    """Raw counters accumulated during the measurement window."""
+
+    num_ports: int
+    cycles: int = 0
+    generated: int = 0
+    injected: int = 0
+    delivered: int = 0
+    discarded: int = 0
+    #: Latency from packet creation to delivery, clock cycles.
+    latency: OnlineStats = field(default_factory=OnlineStats)
+    #: Latency from injection into stage 0 to delivery, clock cycles.
+    network_latency: OnlineStats = field(default_factory=OnlineStats)
+    #: Buffer occupancy across the whole network, sampled once per cycle.
+    occupancy: OnlineStats = field(default_factory=OnlineStats)
+
+    def normalized(self, count: int) -> float:
+        """Events per cycle per port (the paper's link-capacity fraction)."""
+        if self.cycles == 0:
+            return math.nan
+        return count / (self.cycles * self.num_ports)
+
+    @property
+    def delivered_throughput(self) -> float:
+        """Delivered packets per cycle per port."""
+        return self.normalized(self.delivered)
+
+    @property
+    def offered_throughput(self) -> float:
+        """Generated packets per cycle per port (the input throughput)."""
+        return self.normalized(self.generated)
+
+    @property
+    def discard_fraction(self) -> float:
+        """Fraction of generated packets that were discarded."""
+        if self.generated == 0:
+            return math.nan
+        return self.discarded / self.generated
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run (one table cell's worth of data)."""
+
+    buffer_kind: str
+    protocol: str
+    arbiter_kind: str
+    traffic_kind: str
+    offered_load: float
+    slots_per_buffer: int
+    warmup_cycles: int
+    measure_cycles: int
+    seed: int
+    meters: Meters
+
+    @property
+    def offered_throughput(self) -> float:
+        """Measured generation rate (≈ offered load below saturation)."""
+        return self.meters.offered_throughput
+
+    @property
+    def delivered_throughput(self) -> float:
+        """Measured delivery rate per cycle per port."""
+        return self.meters.delivered_throughput
+
+    @property
+    def discard_fraction(self) -> float:
+        """Fraction of generated packets dropped (discarding protocol)."""
+        return self.meters.discard_fraction
+
+    @property
+    def discard_percent(self) -> float:
+        """Discard fraction in percent, the unit of Table 3."""
+        return 100.0 * self.discard_fraction
+
+    @property
+    def average_latency(self) -> float:
+        """Mean creation-to-delivery latency in clock cycles (Tables 4-6)."""
+        return self.meters.latency.mean
+
+    @property
+    def average_network_latency(self) -> float:
+        """Mean injection-to-delivery latency in clock cycles."""
+        return self.meters.network_latency.mean
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.buffer_kind:5s} {self.protocol:10s} {self.arbiter_kind:5s} "
+            f"{self.traffic_kind:8s} offered={self.offered_load:.2f} "
+            f"delivered={self.delivered_throughput:.3f} "
+            f"discard={self.discard_percent:.2f}% "
+            f"latency={self.average_latency:.2f}"
+        )

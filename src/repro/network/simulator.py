@@ -1,0 +1,436 @@
+"""Synchronous simulator of an Omega network of n×n switches.
+
+This is the reproduction of the paper's Section 4.2 evaluation substrate.
+Following the paper's own simplifications (shared with Pfister & Norton):
+
+* fixed-length packets (one buffer slot each, unless the variable-length
+  extension is enabled);
+* synchronized transmission — a packet crosses one switch per *network
+  cycle*, each network cycle standing for 12 clock cycles (8 to transmit,
+  4 to route);
+* processors are Bernoulli message generators, memories are sinks.
+
+Within a network cycle the simulator processes stages **from last to
+first**: every switch first transmits (freeing slots), then receives from
+upstream, so a slot freed in a cycle can be refilled in the same cycle but
+a packet advances at most one stage per cycle.  Sources inject after all
+switch-to-switch movement.  Flow control follows the configured protocol:
+
+* **blocking** — the arbiter treats an output as blocked when the
+  downstream buffer cannot accept the candidate packet;
+* **discarding** — nothing is blocked; a packet that arrives at a full
+  buffer (including at injection) is dropped and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.packet import Packet, PacketFactory
+from repro.core.registry import make_buffer_factory
+from repro.errors import BufferFullError, ConfigurationError, SimulationError
+from repro.network.metrics import Meters, SimulationResult
+from repro.network.sources import Sink, Source
+from repro.network.topology import OmegaTopology
+from repro.network.traffic import TrafficPattern, make_traffic
+from repro.switch.arbiter import make_arbiter
+from repro.switch.flow_control import Protocol
+from repro.switch.switch import Switch
+from repro.utils.rng import RandomStream
+
+__all__ = ["NetworkConfig", "OmegaNetworkSimulator", "simulate"]
+
+#: Clock cycles represented by one network cycle (8 transmit + 4 route).
+DEFAULT_CYCLE_CLOCKS = 12
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Everything that defines one simulation run.
+
+    The defaults are the paper's headline configuration: a 64×64 Omega
+    network of 4×4 switches with four slots per input buffer, blocking
+    protocol, smart arbitration and uniform traffic.
+    """
+
+    num_ports: int = 64
+    radix: int = 4
+    buffer_kind: str = "DAMQ"
+    slots_per_buffer: int = 4
+    protocol: Protocol = Protocol.BLOCKING
+    arbiter_kind: str = "smart"
+    traffic_kind: str = "uniform"
+    offered_load: float = 0.5
+    hot_fraction: float = 0.05
+    hot_port: int = 0
+    seed: int = 1988
+    cycle_clocks: int = DEFAULT_CYCLE_CLOCKS
+    packet_size: int = 1
+    #: When set, packet sizes are uniform on [packet_size, packet_size_max]
+    #: (variable-length traffic — the paper's conclusion flags this as the
+    #: DAMQ buffer's real target).
+    packet_size_max: int | None = None
+    source_queue_capacity: int = 4
+    #: Under the discarding protocol, whether a generated packet that finds
+    #: the stage-0 buffer full is dropped (True) or held at the generator
+    #: until it fits (False).  The paper's processors are "simply message
+    #: generators"; holding at the source reproduces its Table 3 numbers,
+    #: where only switch-to-switch transfers discard.
+    discard_at_injection: bool = False
+    #: Blocking flow-control fidelity: "precise" lets the upstream switch
+    #: know the exact downstream queue a packet will join (idealized
+    #: pre-routing); "conservative" only lets it know whether a packet of
+    #: *any* destination would fit — the realistic constraint the paper
+    #: raises against the statically partitioned buffers (Section 2).
+    #: FIFO and DAMQ behave identically under both settings.
+    flow_control_fidelity: str = "precise"
+    #: When True, a packet of ``size`` slots occupies its link (and its
+    #: buffer's read port) for ``size`` network cycles, arriving downstream
+    #: ``size - 1`` cycles after its grant — store-and-forward
+    #: serialization for the variable-length extension.  With fixed
+    #: one-slot packets this is exactly the paper's synchronized model, so
+    #: the flag changes nothing for the paper's own experiments.
+    serialize_links: bool = False
+
+    def with_overrides(self, **kwargs) -> "NetworkConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class _StageLink:
+    """Pre-resolved wiring of one switch output to its downstream input."""
+
+    switch: "Switch"
+    input_port: int
+
+
+class OmegaNetworkSimulator:
+    """Cycle-by-cycle simulation of one :class:`NetworkConfig`."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        if config.flow_control_fidelity not in ("precise", "conservative"):
+            raise ConfigurationError(
+                f"unknown flow-control fidelity "
+                f"{config.flow_control_fidelity!r}"
+            )
+        self.config = config
+        self.topology = OmegaTopology(config.num_ports, config.radix)
+        self.pattern: TrafficPattern = make_traffic(
+            config.traffic_kind,
+            config.num_ports,
+            hot_fraction=config.hot_fraction,
+            hot_port=config.hot_port,
+        )
+        self.factory = PacketFactory()
+        root = RandomStream(config.seed, "omega")
+        buffer_factory = make_buffer_factory(
+            config.buffer_kind, config.slots_per_buffer
+        )
+        self.switches: list[list[Switch]] = []
+        next_id = 0
+        for _stage in range(self.topology.num_stages):
+            row = []
+            for _index in range(self.topology.switches_per_stage):
+                arbiter = make_arbiter(
+                    config.arbiter_kind, config.radix, config.radix
+                )
+                row.append(
+                    Switch(next_id, config.radix, config.radix, buffer_factory, arbiter)
+                )
+                next_id += 1
+            self.switches.append(row)
+        discarding = config.protocol is Protocol.DISCARDING
+        queue_capacity = (
+            0
+            if discarding and config.discard_at_injection
+            else config.source_queue_capacity
+        )
+        self.sources = [
+            Source(
+                port=port,
+                offered_load=config.offered_load,
+                topology=self.topology,
+                pattern=self.pattern,
+                factory=self.factory,
+                rng=root.spawn(f"source{port}"),
+                queue_capacity=queue_capacity,
+                cycle_clocks=config.cycle_clocks,
+                packet_size=config.packet_size,
+                packet_size_max=config.packet_size_max,
+            )
+            for port in range(config.num_ports)
+        ]
+        self.sinks = [
+            Sink(port, config.cycle_clocks) for port in range(config.num_ports)
+        ]
+        # Pre-resolve inter-stage wiring: downstream[stage][switch][output].
+        self._downstream: list[list[list[_StageLink]]] = []
+        for stage in range(self.topology.num_stages - 1):
+            stage_links = []
+            for index in range(self.topology.switches_per_stage):
+                links = []
+                for output in range(config.radix):
+                    location = self.topology.next_hop(stage, index, output)
+                    links.append(
+                        _StageLink(
+                            self.switches[stage + 1][location.switch],
+                            location.port,
+                        )
+                    )
+                stage_links.append(links)
+            self._downstream.append(stage_links)
+        self.cycle = 0
+        self.meters = Meters(num_ports=config.num_ports)
+        self._measure_start_clock: int | None = None
+        # Link-serialization state (only consulted when serialize_links):
+        # cycle at which each resource becomes free, plus the in-flight
+        # deliveries bucketed by completion cycle.
+        stages = self.topology.num_stages
+        per_stage = self.topology.switches_per_stage
+        self._link_free_at = [
+            [[0] * config.radix for _ in range(per_stage)] for _ in range(stages)
+        ]
+        self._reader_free_at = [
+            [[0] * config.radix for _ in range(per_stage)] for _ in range(stages)
+        ]
+        self._source_free_at = [0] * config.num_ports
+        self._pending: dict[int, list[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # One network cycle
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole network by one network cycle."""
+        last_stage = self.topology.num_stages - 1
+        for stage in range(last_stage, -1, -1):
+            for index, switch in enumerate(self.switches[stage]):
+                if switch.occupancy == 0:
+                    continue
+                self._run_switch(stage, index, switch)
+        self._inject()
+        if self.config.serialize_links:
+            self._complete_in_flight()
+        self._sample_occupancy()
+        self.cycle += 1
+
+    def _run_switch(self, stage: int, index: int, switch: Switch) -> None:
+        """Arbitrate and move one switch's granted packets downstream."""
+        last_stage = self.topology.num_stages - 1
+        blocking = self.config.protocol is Protocol.BLOCKING
+
+        if stage == last_stage:
+            def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
+                return False  # sinks always accept
+        elif blocking and self.config.flow_control_fidelity == "conservative":
+            links = self._downstream[stage][index]
+
+            def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
+                link = links[output_port]
+                buffer = link.switch.buffers[link.input_port]
+                return not buffer.can_accept_without_prerouting(packet.size)
+        elif blocking:
+            links = self._downstream[stage][index]
+
+            def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
+                link = links[output_port]
+                next_output = packet.route[packet.hop + 1]
+                return not link.switch.can_accept(
+                    link.input_port, next_output, packet.size
+                )
+        else:
+            def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
+                return False
+
+        if self.config.serialize_links:
+            link_free = self._link_free_at[stage][index]
+            reader_free = self._reader_free_at[stage][index]
+            flow_blocked = blocked
+
+            def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
+                if self.cycle < link_free[output_port]:
+                    return True  # previous packet still on the wire
+                if self.cycle < reader_free[input_port]:
+                    return True  # buffer's read port still streaming
+                return flow_blocked(input_port, output_port, packet)
+
+        grants = switch.plan_transmissions(blocked)
+        for grant in grants:
+            packet = switch.execute(grant)
+            if self.config.serialize_links and packet.size > 1:
+                done = self.cycle + packet.size
+                self._link_free_at[stage][index][grant.output_port] = done
+                self._reader_free_at[stage][index][grant.input_port] = done
+                self._pending.setdefault(done - 1, []).append(
+                    ("hop", stage, index, grant.output_port, packet)
+                )
+            elif stage == last_stage:
+                self._deliver(index, grant.output_port, packet)
+            else:
+                self._forward(stage, index, grant.output_port, packet)
+
+    def _forward(
+        self, stage: int, index: int, output_port: int, packet: Packet
+    ) -> None:
+        """Move a packet across one inter-stage link."""
+        link = self._downstream[stage][index][output_port]
+        packet.advance_hop()
+        next_output = packet.output_port_at_current_hop()
+        try:
+            link.switch.receive(link.input_port, packet, next_output)
+        except BufferFullError:
+            if self.config.protocol is Protocol.BLOCKING:
+                raise SimulationError(
+                    "blocking protocol forwarded into a full buffer"
+                ) from None
+            self._count_discard(packet)
+
+    def _deliver(self, index: int, output_port: int, packet: Packet) -> None:
+        """Hand a packet leaving the last stage to its memory sink."""
+        port = self.topology.exit_link(index, output_port)
+        sink = self.sinks[port]
+        sink.deliver(packet, self.cycle)
+        if self._in_measurement(packet):
+            self.meters.delivered += 1
+            self.meters.latency.add(packet.latency())
+            self.meters.network_latency.add(packet.network_latency())
+
+    def _inject(self) -> None:
+        """Generate new packets and push injection-queue heads into stage 0."""
+        discarding = (
+            self.config.protocol is Protocol.DISCARDING
+            and self.config.discard_at_injection
+        )
+        for source in self.sources:
+            generated = source.maybe_generate(self.cycle)
+            if generated is not None and self._in_measurement(generated):
+                self.meters.generated += 1
+            head = source.head()
+            if head is None:
+                continue
+            if (
+                self.config.serialize_links
+                and self.cycle < self._source_free_at[source.port]
+            ):
+                continue  # injection link still streaming a prior packet
+            entry = self.topology.entry_point(source.port)
+            switch = self.switches[0][entry.switch]
+            local_output = head.output_port_at_current_hop()
+            if switch.can_accept(entry.port, local_output, head.size):
+                packet = source.dequeue()
+                if self.config.serialize_links and packet.size > 1:
+                    done = self.cycle + packet.size
+                    self._source_free_at[source.port] = done
+                    self._pending.setdefault(done - 1, []).append(
+                        ("inject", 0, entry.switch, entry.port, packet)
+                    )
+                    continue
+                # Injection completes at the end of this network cycle (the
+                # frame boundary), after the packet's mid-frame creation.
+                packet.injected_at = (self.cycle + 1) * self.config.cycle_clocks
+                switch.receive(entry.port, packet, local_output)
+                if self._in_measurement(packet):
+                    self.meters.injected += 1
+            elif discarding:
+                self._count_discard(source.dequeue())
+
+    def _complete_in_flight(self) -> None:
+        """Land every serialized transfer whose last slot arrives now."""
+        for entry in self._pending.pop(self.cycle, []):
+            kind, stage, index, port, packet = entry
+            if kind == "inject":
+                packet.injected_at = (self.cycle + 1) * self.config.cycle_clocks
+                local_output = packet.output_port_at_current_hop()
+                # The stage-0 input buffer is fed only by this source link,
+                # so the space checked at launch is still there.
+                self.switches[0][index].receive(port, packet, local_output)
+                if self._in_measurement(packet):
+                    self.meters.injected += 1
+            elif stage == self.topology.num_stages - 1:
+                self._deliver(index, port, packet)
+            else:
+                self._forward(stage, index, port, packet)
+
+    @property
+    def in_flight_count(self) -> int:
+        """Packets currently serializing across links."""
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    def _count_discard(self, packet: Packet) -> None:
+        if self._in_measurement(packet):
+            self.meters.discarded += 1
+
+    def _sample_occupancy(self) -> None:
+        if self._measure_start_clock is not None:
+            total = sum(
+                switch.occupancy for row in self.switches for switch in row
+            )
+            self.meters.occupancy.add(total)
+
+    def _in_measurement(self, packet: Packet) -> bool:
+        """Whether this packet counts toward the measurement window."""
+        return (
+            self._measure_start_clock is not None
+            and packet.created_at >= self._measure_start_clock
+        )
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def run(
+        self, warmup_cycles: int = 2000, measure_cycles: int = 10000
+    ) -> SimulationResult:
+        """Warm up, measure, and summarize.
+
+        Packets *generated* during warm-up never contribute to the meters,
+        even if delivered during the measurement window; packets generated
+        during measurement but still in flight at the end are simply not
+        counted as delivered (standard open-loop methodology).
+        """
+        if warmup_cycles < 0 or measure_cycles < 1:
+            raise ConfigurationError("invalid warmup/measure cycle counts")
+        for _ in range(warmup_cycles):
+            self.step()
+        self._measure_start_clock = self.cycle * self.config.cycle_clocks
+        start_cycle = self.cycle
+        for _ in range(measure_cycles):
+            self.step()
+        self.meters.cycles = self.cycle - start_cycle
+        return SimulationResult(
+            buffer_kind=self.config.buffer_kind,
+            protocol=str(self.config.protocol),
+            arbiter_kind=self.config.arbiter_kind,
+            traffic_kind=self.pattern.kind,
+            offered_load=self.config.offered_load,
+            slots_per_buffer=self.config.slots_per_buffer,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            seed=self.config.seed,
+            meters=self.meters,
+        )
+
+    @property
+    def total_buffered(self) -> int:
+        """Slots currently occupied inside the network (tests/metrics)."""
+        return sum(switch.occupancy for row in self.switches for switch in row)
+
+    @property
+    def total_buffered_packets(self) -> int:
+        """Packets currently buffered (a multi-slot packet counts once)."""
+        return sum(
+            len(buffer.packets())
+            for row in self.switches
+            for switch in row
+            for buffer in switch.buffers
+        )
+
+
+def simulate(
+    config: NetworkConfig,
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 10000,
+) -> SimulationResult:
+    """Build a simulator for ``config`` and run it once."""
+    return OmegaNetworkSimulator(config).run(warmup_cycles, measure_cycles)

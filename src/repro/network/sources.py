@@ -1,0 +1,161 @@
+"""Message generators and receivers at the edge of the network.
+
+"In our simulation, the processors were simply message generators and the
+memories message receivers" (Section 4.2).  :class:`Source` models one
+processor: a Bernoulli generator producing at the offered load, in front of
+a small injection queue.  Under the *blocking* protocol the generator
+stalls while its injection queue is full — this is what caps delivered
+throughput at the network's saturation point and keeps measured latencies
+finite there.  Under the *discarding* protocol there is no injection queue:
+a packet that cannot enter stage 0 is dropped on the spot.
+
+:class:`Sink` models one memory module: it accepts any packet instantly and
+feeds the latency/throughput accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.packet import Packet, PacketFactory
+from repro.errors import ConfigurationError
+from repro.network.topology import OmegaTopology
+from repro.network.traffic import TrafficPattern
+from repro.utils.rng import RandomStream
+
+__all__ = ["Source", "Sink"]
+
+
+class Source:
+    """One processor-side packet generator with an injection queue.
+
+    Parameters
+    ----------
+    port:
+        Network input index this source feeds.
+    offered_load:
+        Probability of generating a packet in a network cycle (fraction of
+        link capacity, the paper's traffic axis).
+    topology:
+        Used to pre-compute each packet's self-routing tag.
+    pattern:
+        Destination chooser.
+    factory:
+        Shared packet factory (unique ids network-wide).
+    rng:
+        Private random stream.
+    queue_capacity:
+        Injection-queue depth for the blocking protocol.  The generator
+        stalls (generates nothing) while the queue is full, modeling a
+        processor that cannot push more work into a clogged network.
+        ``0`` means no queue (discarding protocol).
+    cycle_clocks:
+        Clock cycles per network cycle (12 in the paper).
+    packet_size:
+        Slots per generated packet (1 = the paper's fixed-length packets).
+    packet_size_max:
+        When set (> ``packet_size``), each packet's size is drawn
+        uniformly from ``[packet_size, packet_size_max]`` — the
+        variable-length traffic the paper names as the DAMQ's real target.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        offered_load: float,
+        topology: OmegaTopology,
+        pattern: TrafficPattern,
+        factory: PacketFactory,
+        rng: RandomStream,
+        queue_capacity: int = 4,
+        cycle_clocks: int = 12,
+        packet_size: int = 1,
+        packet_size_max: int | None = None,
+    ) -> None:
+        if not 0.0 <= offered_load <= 1.0:
+            raise ConfigurationError(f"offered load out of range: {offered_load}")
+        if queue_capacity < 0:
+            raise ConfigurationError("queue capacity cannot be negative")
+        if packet_size_max is not None and packet_size_max < packet_size:
+            raise ConfigurationError(
+                "packet_size_max must be at least packet_size"
+            )
+        self.port = port
+        self.offered_load = offered_load
+        self.topology = topology
+        self.pattern = pattern
+        self.factory = factory
+        self.rng = rng
+        self.queue_capacity = queue_capacity
+        self.cycle_clocks = cycle_clocks
+        self.packet_size = packet_size
+        self.packet_size_max = packet_size_max
+        self.queue: deque[Packet] = deque()
+        self.generated = 0
+        self.stalled_cycles = 0
+
+    def maybe_generate(self, cycle: int) -> Packet | None:
+        """Run one cycle of the Bernoulli generator.
+
+        Returns the freshly generated packet (also queued), or ``None`` if
+        the coin came up tails or the generator is stalled by a full
+        injection queue.
+        """
+        if self.queue_capacity and len(self.queue) >= self.queue_capacity:
+            self.stalled_cycles += 1
+            return None
+        if not self.rng.bernoulli(self.offered_load):
+            return None
+        destination = self.pattern.destination(self.port, self.rng)
+        # Creation instant is uniform inside the cycle's clock frame; the
+        # packet becomes eligible for injection at the frame boundary.
+        offset = self.rng.randint(0, self.cycle_clocks)
+        if self.packet_size_max is None:
+            size = self.packet_size
+        else:
+            size = self.rng.randint(self.packet_size, self.packet_size_max + 1)
+        packet = self.factory.create(
+            source=self.port,
+            destination=destination,
+            created_at=cycle * self.cycle_clocks + offset,
+            route=self.topology.route(self.port, destination),
+            size=size,
+        )
+        self.generated += 1
+        self.queue.append(packet)
+        return packet
+
+    def head(self) -> Packet | None:
+        """Packet waiting to be injected (``None`` when idle)."""
+        return self.queue[0] if self.queue else None
+
+    def dequeue(self) -> Packet:
+        """Remove the head packet after a successful injection."""
+        return self.queue.popleft()
+
+    def reset_counters(self) -> None:
+        """Zero the generation counters (end of warm-up)."""
+        self.generated = 0
+        self.stalled_cycles = 0
+
+
+class Sink:
+    """One memory-side receiver; accepts every packet immediately."""
+
+    def __init__(self, port: int, cycle_clocks: int = 12) -> None:
+        self.port = port
+        self.cycle_clocks = cycle_clocks
+        self.received = 0
+        self.misrouted = 0
+
+    def deliver(self, packet: Packet, cycle: int) -> None:
+        """Accept a packet at the end of ``cycle``."""
+        packet.delivered_at = (cycle + 1) * self.cycle_clocks
+        self.received += 1
+        if packet.destination != self.port:
+            self.misrouted += 1
+
+    def reset_counters(self) -> None:
+        """Zero the delivery counters (end of warm-up)."""
+        self.received = 0
+        self.misrouted = 0

@@ -1,0 +1,160 @@
+"""Omega-network topology (Lawrie 1975), as used in Section 4.2.
+
+An Omega network with ``N = k**n`` ports is built from ``n`` stages of
+``N/k`` identical ``k×k`` switches, with the *perfect k-shuffle*
+permutation wiring the network inputs to stage 0 and each stage to the
+next.  The paper simulates ``N = 64`` with ``k = 4`` (three stages of
+sixteen 4×4 switches).
+
+The network is *self-routing*: writing the destination in base ``k`` as
+``d_{n-1} … d_0``, the switch at stage ``s`` must forward the packet out of
+local output ``d_{n-1-s}`` (most-significant digit first).  After the last
+stage the packet emerges exactly on link ``destination`` — a property the
+test suite checks exhaustively for several network sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, RoutingError
+
+__all__ = ["OmegaTopology", "PortLocation"]
+
+
+@dataclass(frozen=True)
+class PortLocation:
+    """A (switch index, port index) pair within one stage."""
+
+    switch: int
+    port: int
+
+
+class OmegaTopology:
+    """Structure and routing of a ``k``-ary Omega network.
+
+    Parameters
+    ----------
+    num_ports:
+        Number of network inputs (= outputs).  Must be a power of ``radix``.
+    radix:
+        Switch arity ``k`` (4 in the paper's evaluation).
+    """
+
+    def __init__(self, num_ports: int, radix: int) -> None:
+        if radix < 2:
+            raise ConfigurationError("radix must be at least 2")
+        if num_ports < radix:
+            raise ConfigurationError("need at least one switch worth of ports")
+        stages = 0
+        size = 1
+        while size < num_ports:
+            size *= radix
+            stages += 1
+        if size != num_ports:
+            raise ConfigurationError(
+                f"num_ports={num_ports} is not a power of radix={radix}"
+            )
+        self.num_ports = num_ports
+        self.radix = radix
+        self.num_stages = stages
+        self.switches_per_stage = num_ports // radix
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def shuffle(self, link: int) -> int:
+        """Perfect k-shuffle of a link label (left-rotate its base-k digits)."""
+        self._check_link(link)
+        return (link * self.radix) % self.num_ports + (
+            link * self.radix
+        ) // self.num_ports
+
+    def unshuffle(self, link: int) -> int:
+        """Inverse of :meth:`shuffle` (right-rotate the base-k digits)."""
+        self._check_link(link)
+        return (link // self.radix) + (link % self.radix) * (
+            self.num_ports // self.radix
+        )
+
+    def entry_point(self, source: int) -> PortLocation:
+        """Stage-0 switch input reached by network input ``source``."""
+        self._check_link(source)
+        link = self.shuffle(source)
+        return PortLocation(switch=link // self.radix, port=link % self.radix)
+
+    def next_hop(self, stage: int, switch: int, output_port: int) -> PortLocation:
+        """Stage ``stage+1`` input wired to an output of stage ``stage``.
+
+        Only defined for non-final stages; the final stage's outputs are
+        the network outputs (see :meth:`exit_link`).
+        """
+        self._check_stage(stage)
+        if stage == self.num_stages - 1:
+            raise RoutingError("the final stage has no next hop")
+        link = self.shuffle(switch * self.radix + output_port)
+        return PortLocation(switch=link // self.radix, port=link % self.radix)
+
+    def exit_link(self, switch: int, output_port: int) -> int:
+        """Network output reached from a final-stage switch output."""
+        return switch * self.radix + output_port
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, source: int, destination: int) -> tuple[int, ...]:
+        """Local output port to take at each stage (destination-digit rule)."""
+        self._check_link(source)
+        self._check_link(destination)
+        digits = []
+        value = destination
+        for _ in range(self.num_stages):
+            digits.append(value % self.radix)
+            value //= self.radix
+        # Most-significant digit is consumed first.
+        return tuple(reversed(digits))
+
+    def trace(self, source: int, destination: int) -> list[PortLocation]:
+        """The (switch, input port) visited at every stage.
+
+        Used by tests to verify the self-routing property and by the
+        hot-spot experiments to identify the saturation tree.
+        """
+        route = self.route(source, destination)
+        location = self.entry_point(source)
+        visits = [location]
+        for stage, output_port in enumerate(route[:-1]):
+            location = self.next_hop(stage, location.switch, output_port)
+            visits.append(location)
+        return visits
+
+    def delivered_output(self, source: int, destination: int) -> int:
+        """Network output a packet emerges on (must equal ``destination``)."""
+        route = self.route(source, destination)
+        visits = self.trace(source, destination)
+        final = visits[-1]
+        return self.exit_link(final.switch, route[-1])
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_link(self, link: int) -> None:
+        if not 0 <= link < self.num_ports:
+            raise ConfigurationError(
+                f"link {link} out of range [0, {self.num_ports})"
+            )
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.num_stages:
+            raise ConfigurationError(
+                f"stage {stage} out of range [0, {self.num_stages})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OmegaTopology({self.num_ports} ports, radix {self.radix}, "
+            f"{self.num_stages} stages of {self.switches_per_stage})"
+        )

@@ -1,0 +1,16 @@
+"""The n×n switch: crossbar, central arbiter and flow-control protocols."""
+
+from repro.switch.arbiter import ARBITER_KINDS, CrossbarArbiter, Grant, make_arbiter
+from repro.switch.crossbar import Crossbar
+from repro.switch.flow_control import Protocol
+from repro.switch.switch import Switch
+
+__all__ = [
+    "ARBITER_KINDS",
+    "Crossbar",
+    "CrossbarArbiter",
+    "Grant",
+    "Protocol",
+    "Switch",
+    "make_arbiter",
+]

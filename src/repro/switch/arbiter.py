@@ -1,0 +1,198 @@
+"""Central crossbar arbiters (Section 4.2 of the paper).
+
+Each cycle the arbiter examines the input buffers one at a time, in a
+priority order, "transmitting packets from the longest queue in the buffer
+which was not blocked".  The paper evaluates two fairness schemes:
+
+* **dumb** — plain round robin over buffers: the buffer examined first
+  rotates every cycle whether or not it transmitted.
+* **smart** — round robin that does not "count" a turn in which the
+  priority buffer could not transmit (it stays first next cycle), plus a
+  per-queue *stale count* used to age packets so no queue inside a buffer
+  starves.
+
+The arbiter is deliberately independent of the buffer architecture: it only
+sees the :class:`~repro.core.buffer.SwitchBuffer` interface, a per-buffer
+read-port budget, and a caller-supplied ``blocked`` predicate that embodies
+the flow-control protocol (an output whose downstream buffer cannot accept
+the candidate packet is "blocked" under the blocking protocol; nothing is
+blocked under the discarding protocol).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError
+
+__all__ = ["Grant", "CrossbarArbiter", "make_arbiter", "ARBITER_KINDS"]
+
+#: ``blocked(input_port, output_port, packet) -> bool`` — flow-control hook.
+BlockedPredicate = Callable[[int, int, Packet], bool]
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One arbitration decision: transmit ``packet`` from input to output."""
+
+    input_port: int
+    output_port: int
+    packet: Packet
+
+
+class CrossbarArbiter:
+    """Round-robin longest-queue arbiter with optional smart fairness.
+
+    Parameters
+    ----------
+    num_inputs, num_outputs:
+        Switch dimensions.
+    smart:
+        Enables the paper's "smart" behaviour: the priority pointer only
+        advances past a buffer that actually transmitted, and stale counts
+        break queue-length ties in favour of queues that waited longest.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int, smart: bool) -> None:
+        if num_inputs < 1 or num_outputs < 1:
+            raise ConfigurationError("arbiter needs at least one input and output")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.smart = smart
+        self._priority = 0
+        # stale[i][o]: cycles queue (i, o) has waited non-empty and unserved.
+        self._stale = [[0] * num_outputs for _ in range(num_inputs)]
+
+    @property
+    def kind(self) -> str:
+        """Table name of the scheme ("smart" or "dumb")."""
+        return "smart" if self.smart else "dumb"
+
+    def stale_count(self, input_port: int, output_port: int) -> int:
+        """Current stale count of one queue (for tests and metrics)."""
+        return self._stale[input_port][output_port]
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+    ) -> list[Grant]:
+        """Choose this cycle's transmissions.
+
+        Buffers are examined starting at the priority pointer; each pass
+        grants at most one packet per buffer; additional passes run while
+        buffers still have unused read ports (this is what lets an SAFC
+        buffer feed several outputs in one cycle).  Returns the grants and
+        updates the fairness state.
+        """
+        if len(buffers) != self.num_inputs:
+            raise ConfigurationError(
+                f"expected {self.num_inputs} buffers, got {len(buffers)}"
+            )
+        grants: list[Grant] = []
+        output_free = [True] * self.num_outputs
+        reads_left = [buffer.max_reads_per_cycle for buffer in buffers]
+        order = [
+            (self._priority + offset) % self.num_inputs
+            for offset in range(self.num_inputs)
+        ]
+
+        # Each pass grants at most one packet per buffer; further passes
+        # only matter for buffers with spare read ports (SAFC).
+        outputs_left = self.num_outputs
+        made_progress = True
+        while made_progress and outputs_left:
+            made_progress = False
+            for input_port in order:
+                if reads_left[input_port] == 0:
+                    continue
+                choice = self._pick_queue(
+                    input_port, buffers[input_port], output_free, blocked
+                )
+                if choice is None:
+                    reads_left[input_port] = 0  # nothing to offer this cycle
+                    continue
+                output_port, packet = choice
+                grants.append(Grant(input_port, output_port, packet))
+                output_free[output_port] = False
+                reads_left[input_port] -= 1
+                outputs_left -= 1
+                made_progress = True
+                if not outputs_left:
+                    break
+
+        self._update_fairness(buffers, grants)
+        return grants
+
+    def _pick_queue(
+        self,
+        input_port: int,
+        buffer: SwitchBuffer,
+        output_free: list[bool],
+        blocked: BlockedPredicate,
+    ) -> tuple[int, Packet] | None:
+        """Longest unblocked queue of one buffer (stale-count tie-break)."""
+        best: tuple[int, int, int] | None = None  # (length, stale, -output)
+        best_output = -1
+        best_packet: Packet | None = None
+        for output_port in range(self.num_outputs):
+            if not output_free[output_port]:
+                continue
+            packet = buffer.peek(output_port)
+            if packet is None:
+                continue
+            if blocked(input_port, output_port, packet):
+                continue
+            length = buffer.queue_length(output_port)
+            stale = self._stale[input_port][output_port] if self.smart else 0
+            key = (length, stale, -output_port)
+            if best is None or key > best:
+                best = key
+                best_output = output_port
+                best_packet = packet
+        if best_packet is None:
+            return None
+        return best_output, best_packet
+
+    def _update_fairness(
+        self, buffers: Sequence[SwitchBuffer], grants: list[Grant]
+    ) -> None:
+        """Advance the round-robin pointer and the stale counts."""
+        served = {(grant.input_port, grant.output_port) for grant in grants}
+        served_inputs = {grant.input_port for grant in grants}
+        for input_port, buffer in enumerate(buffers):
+            for output_port in range(self.num_outputs):
+                if (input_port, output_port) in served:
+                    self._stale[input_port][output_port] = 0
+                elif buffer.queue_length(output_port) > 0:
+                    self._stale[input_port][output_port] += 1
+                else:
+                    self._stale[input_port][output_port] = 0
+        if self.smart:
+            # Do not burn the priority turn of a buffer that could not
+            # transmit: advance only when the priority buffer was served.
+            if self._priority in served_inputs:
+                self._priority = (self._priority + 1) % self.num_inputs
+        else:
+            self._priority = (self._priority + 1) % self.num_inputs
+
+
+#: Names accepted by :func:`make_arbiter`.
+ARBITER_KINDS = ("smart", "dumb")
+
+
+def make_arbiter(kind: str, num_inputs: int, num_outputs: int) -> CrossbarArbiter:
+    """Construct an arbiter by table name ("smart" or "dumb")."""
+    normalized = kind.lower()
+    if normalized not in ARBITER_KINDS:
+        raise ConfigurationError(
+            f"unknown arbiter kind {kind!r}; expected one of {ARBITER_KINDS}"
+        )
+    return CrossbarArbiter(num_inputs, num_outputs, smart=(normalized == "smart"))

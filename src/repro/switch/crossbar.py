@@ -1,0 +1,89 @@
+"""Connection fabric between input buffers and output ports.
+
+The paper's switches differ not only in buffering but in the fabric the
+buffers need: FIFO/SAMQ/DAMQ use one n×n crossbar (each input drives at
+most one output per cycle), while SAFC replaces it with n separate n×1
+switches so one input port can drive several outputs at once (Figure 1b).
+
+:class:`Crossbar` models the connection state for one cycle and enforces
+the corresponding legality rules, so an arbitration bug that would be a
+short circuit in silicon raises :class:`~repro.errors.ProtocolError` here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """Per-cycle connection state between inputs and outputs.
+
+    Parameters
+    ----------
+    num_inputs, num_outputs:
+        Fabric dimensions.
+    max_fanout:
+        How many outputs a single input may drive in one cycle: ``1`` for a
+        plain crossbar, ``num_outputs`` for the SAFC arrangement of n×1
+        switches.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int, max_fanout: int = 1) -> None:
+        if num_inputs < 1 or num_outputs < 1:
+            raise ConfigurationError("crossbar needs at least one input and output")
+        if max_fanout < 1:
+            raise ConfigurationError("max_fanout must be at least 1")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.max_fanout = max_fanout
+        # source[o] is the input currently driving output o (or None).
+        self._source: list[int | None] = [None] * num_outputs
+
+    def connect(self, input_port: int, output_port: int) -> None:
+        """Drive ``output_port`` from ``input_port`` for this cycle.
+
+        Raises :class:`ProtocolError` when the output is already driven or
+        the input exceeds its fan-out limit.
+        """
+        if not 0 <= input_port < self.num_inputs:
+            raise ConfigurationError(f"input {input_port} out of range")
+        if not 0 <= output_port < self.num_outputs:
+            raise ConfigurationError(f"output {output_port} out of range")
+        if self._source[output_port] is not None:
+            raise ProtocolError(
+                f"output {output_port} already driven by input "
+                f"{self._source[output_port]}"
+            )
+        if self.fanout(input_port) >= self.max_fanout:
+            raise ProtocolError(
+                f"input {input_port} already drives {self.fanout(input_port)} "
+                f"outputs (fan-out limit {self.max_fanout})"
+            )
+        self._source[output_port] = input_port
+
+    def source(self, output_port: int) -> int | None:
+        """The input currently driving ``output_port`` (``None`` if idle)."""
+        return self._source[output_port]
+
+    def fanout(self, input_port: int) -> int:
+        """How many outputs ``input_port`` is currently driving."""
+        return sum(1 for src in self._source if src == input_port)
+
+    def connections(self) -> list[tuple[int, int]]:
+        """All (input, output) pairs currently connected."""
+        return [
+            (src, out) for out, src in enumerate(self._source) if src is not None
+        ]
+
+    def is_output_free(self, output_port: int) -> bool:
+        """True when no input drives ``output_port`` this cycle."""
+        return self._source[output_port] is None
+
+    def reset(self) -> None:
+        """Clear every connection (start of a new cycle)."""
+        self._source = [None] * self.num_outputs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Crossbar({self.connections()})"

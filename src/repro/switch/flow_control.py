@@ -1,0 +1,44 @@
+"""Flow-control protocols of the evaluation (Section 4).
+
+The paper evaluates every buffer architecture under two protocols:
+
+* **discarding** — a packet that attempts to enter a full buffer is
+  dropped (and counted); nothing upstream is ever stalled.
+* **blocking** — the transmitter is prevented from sending into a full
+  buffer; the packet stays where it is and competes again next cycle.
+
+For the statically partitioned buffers (SAMQ/SAFC) "full" is a property of
+the *destination queue* the packet will join downstream, which is only
+knowable by pre-routing the packet — the very complication the paper holds
+against those designs (Section 2).  The simulator grants them that
+idealized knowledge so the comparison is, if anything, generous to the
+static designs; :mod:`DESIGN.md` records this choice.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Protocol"]
+
+
+class Protocol(enum.Enum):
+    """What a switch does when a packet meets a full downstream buffer."""
+
+    DISCARDING = "discarding"
+    BLOCKING = "blocking"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Protocol":
+        """Parse a protocol by name, case-insensitively."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown protocol {name!r}; expected 'discarding' or 'blocking'"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,141 @@
+"""A small n×n packet switch assembled from the library's components.
+
+One :class:`Switch` owns an input buffer per input port (any of the four
+architectures), a :class:`~repro.switch.crossbar.Crossbar` sized for that
+architecture's read capability, and a central
+:class:`~repro.switch.arbiter.CrossbarArbiter`.  It operates at the
+network-cycle granularity of the paper's Omega-network evaluation: in each
+cycle the arbiter picks transmissions, the crossbar checks their legality,
+and the simulator moves the granted packets downstream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.errors import BufferFullError, ConfigurationError
+from repro.switch.arbiter import BlockedPredicate, CrossbarArbiter, Grant
+from repro.switch.crossbar import Crossbar
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """An n×n switch with per-input buffers and a central arbiter.
+
+    Parameters
+    ----------
+    switch_id:
+        Identifier used in traces and error messages.
+    num_inputs, num_outputs:
+        Port counts (the paper uses 2×2 for the Markov analysis and 4×4
+        for the Omega network).
+    buffer_factory:
+        ``factory(num_outputs) -> SwitchBuffer`` building one input
+        buffer; see :func:`repro.core.registry.make_buffer_factory`.
+    arbiter:
+        The crossbar arbiter (smart or dumb).
+    """
+
+    def __init__(
+        self,
+        switch_id: int,
+        num_inputs: int,
+        num_outputs: int,
+        buffer_factory: Callable[[int], SwitchBuffer],
+        arbiter: CrossbarArbiter,
+    ) -> None:
+        if arbiter.num_inputs != num_inputs or arbiter.num_outputs != num_outputs:
+            raise ConfigurationError("arbiter dimensions do not match switch")
+        self.switch_id = switch_id
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.buffers: list[SwitchBuffer] = [
+            buffer_factory(num_outputs) for _ in range(num_inputs)
+        ]
+        kinds = {buffer.kind for buffer in self.buffers}
+        if len(kinds) != 1:
+            raise ConfigurationError(f"mixed buffer kinds in one switch: {kinds}")
+        self.buffer_kind = self.buffers[0].kind
+        self.arbiter = arbiter
+        self.crossbar = Crossbar(
+            num_inputs,
+            num_outputs,
+            max_fanout=self.buffers[0].max_reads_per_cycle,
+        )
+        # Lifetime counters (reset by the simulator at end of warm-up).
+        self.packets_received = 0
+        self.packets_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Receive side (called by the simulator when a packet arrives)
+    # ------------------------------------------------------------------
+
+    def can_accept(self, input_port: int, local_output: int, size: int = 1) -> bool:
+        """Whether the buffer at ``input_port`` can take such a packet now."""
+        self._check_input(input_port)
+        return self.buffers[input_port].can_accept(local_output, size)
+
+    def receive(self, input_port: int, packet: Packet, local_output: int) -> None:
+        """Store an arriving packet on its routed queue.
+
+        Propagates :class:`~repro.errors.BufferFullError` so the caller can
+        implement the discarding protocol.
+        """
+        self._check_input(input_port)
+        try:
+            self.buffers[input_port].push(packet, local_output)
+        except BufferFullError:
+            raise
+        self.packets_received += 1
+
+    # ------------------------------------------------------------------
+    # Transmit side (one call per network cycle)
+    # ------------------------------------------------------------------
+
+    def plan_transmissions(self, blocked: BlockedPredicate) -> list[Grant]:
+        """Arbitrate the crossbar for this cycle and validate connections."""
+        grants = self.arbiter.arbitrate(self.buffers, blocked)
+        self.crossbar.reset()
+        for grant in grants:
+            self.crossbar.connect(grant.input_port, grant.output_port)
+        return grants
+
+    def execute(self, grant: Grant) -> Packet:
+        """Pop the granted packet out of its buffer."""
+        packet = self.buffers[grant.input_port].pop(grant.output_port)
+        if packet.packet_id != grant.packet.packet_id:
+            raise ConfigurationError(
+                f"switch {self.switch_id}: buffer state changed between "
+                f"arbitration and execution"
+            )
+        self.packets_forwarded += 1
+        return packet
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Total packets buffered across all input ports."""
+        return sum(buffer.occupancy for buffer in self.buffers)
+
+    def reset_counters(self) -> None:
+        """Zero the receive/forward counters (end of warm-up)."""
+        self.packets_received = 0
+        self.packets_forwarded = 0
+
+    def _check_input(self, input_port: int) -> None:
+        if not 0 <= input_port < self.num_inputs:
+            raise ConfigurationError(
+                f"input {input_port} out of range [0, {self.num_inputs})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Switch(id={self.switch_id}, {self.num_inputs}x{self.num_outputs}, "
+            f"{self.buffer_kind}, occupancy={self.occupancy})"
+        )

@@ -1,0 +1,16 @@
+"""Shared utilities: seeded RNG streams, ASCII tables, events, statistics."""
+
+from repro.utils.events import Event, EventQueue
+from repro.utils.rng import RandomStream, spawn_streams
+from repro.utils.stats import OnlineStats, RateMeter
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "OnlineStats",
+    "RandomStream",
+    "RateMeter",
+    "TextTable",
+    "spawn_streams",
+]

@@ -1,0 +1,84 @@
+"""A minimal discrete-event queue.
+
+The Omega-network experiments use a synchronous cycle loop (the paper's own
+simplification), but the chip-level multicomputer examples schedule
+asynchronous activity — message injection at arbitrary clock offsets,
+delayed host reads — through this queue.  Events at the same timestamp fire
+in insertion order, which keeps traces deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, sequence)`` so that simultaneous events preserve
+    their scheduling order.  The callback and label do not participate in
+    ordering.
+    """
+
+    time: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """Time-ordered queue of :class:`Event` callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: int, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        event = Event(self.now + delay, next(self._counter), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: int, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at an absolute timestamp."""
+        return self.schedule(time - self.now, action, label)
+
+    def step(self) -> Event | None:
+        """Run the earliest event, advancing ``now`` to its timestamp."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        event.action()
+        return event
+
+    def run_until(self, time: int) -> int:
+        """Run every event with timestamp ``<= time``; return events fired."""
+        fired = 0
+        while self._heap and self._heap[0].time <= time:
+            self.step()
+            fired += 1
+        self.now = max(self.now, time)
+        return fired
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue (optionally capped); return events fired."""
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        return fired

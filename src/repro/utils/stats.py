@@ -1,0 +1,123 @@
+"""Streaming statistics helpers used by the simulators and experiments."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["OnlineStats", "RateMeter"]
+
+
+class OnlineStats:
+    """Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+
+    Used for packet-latency statistics where storing every sample of a
+    multi-million-cycle run would be wasteful.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean, or ``nan`` when no sample has been added."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance, or ``nan`` with fewer than two samples."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    def mean_half_width(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation CI on the mean.
+
+        With the simulators' large sample counts the normal approximation
+        is adequate; callers report ``mean ± mean_half_width()``.  Returns
+        ``nan`` with fewer than two samples.
+        """
+        stddev = self.stddev
+        if math.isnan(stddev):
+            return math.nan
+        return z * stddev / math.sqrt(self.count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OnlineStats(count={self.count}, mean={self.mean:.4g})"
+
+
+class RateMeter:
+    """Counts events over a window of cycles and reports them as a rate.
+
+    The simulators use one meter per quantity of interest (packets offered,
+    injected, delivered, discarded).  ``rate`` normalises by the window
+    length and a caller-supplied width (e.g. number of network ports) so
+    that the result is directly comparable to the paper's "fraction of link
+    capacity" axis.
+    """
+
+    def __init__(self, width: int = 1) -> None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.events = 0
+        self.cycles = 0
+
+    def count(self, n: int = 1) -> None:
+        """Record ``n`` events."""
+        self.events += n
+
+    def advance(self, cycles: int = 1) -> None:
+        """Advance the observation window by ``cycles``."""
+        self.cycles += cycles
+
+    @property
+    def rate(self) -> float:
+        """Events per cycle per unit of width; ``nan`` before any cycle."""
+        if self.cycles == 0:
+            return math.nan
+        return self.events / (self.cycles * self.width)
+
+    def reset(self) -> None:
+        """Zero the meter (used when a warm-up window ends)."""
+        self.events = 0
+        self.cycles = 0

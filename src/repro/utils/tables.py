@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper reports everything as tables; the experiment modules build their
+results as :class:`TextTable` instances so the benchmark harness can print
+rows that line up with the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["TextTable", "format_value"]
+
+
+def format_value(value, decimals: int = 3, zero_plus: bool = False) -> str:
+    """Format a cell the way the paper does.
+
+    Floats are fixed-point with ``decimals`` digits; when ``zero_plus`` is
+    set, positive values that round to zero are rendered ``0+`` exactly as
+    in Table 2 of the paper, and exact zeros render ``0``.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if zero_plus:
+            if value == 0.0:
+                return "0"
+            if round(value, decimals) == 0.0:
+                return "0+"
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+class TextTable:
+    """A titled table of rows rendered with aligned ASCII columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable) -> None:
+        """Append a row; cells are stringified with :func:`str`."""
+        row = [cell if isinstance(cell, str) else str(cell) for cell in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Return the table as a string with a title line and rule lines."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

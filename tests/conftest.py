@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, PacketFactory
+
+
+@pytest.fixture
+def factory() -> PacketFactory:
+    """A fresh packet factory per test."""
+    return PacketFactory()
+
+
+def make_packet(
+    packet_id: int = 0,
+    source: int = 0,
+    destination: int = 0,
+    size: int = 1,
+    route: tuple[int, ...] = (),
+) -> Packet:
+    """Convenience constructor for buffer-level tests."""
+    return Packet(
+        packet_id=packet_id,
+        source=source,
+        destination=destination,
+        route=route,
+        size=size,
+    )
+
+
+def fill_buffer(buffer, destination: int, count: int, start_id: int = 100):
+    """Push ``count`` size-1 packets for one destination; return them."""
+    packets = []
+    for offset in range(count):
+        packet = make_packet(packet_id=start_id + offset, destination=destination)
+        buffer.push(packet, destination)
+        packets.append(packet)
+    return packets

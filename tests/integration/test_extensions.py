@@ -1,0 +1,107 @@
+"""Integration tests for the extension modules at reduced scale."""
+
+import pytest
+
+from repro.chip import build_mesh, open_shortest_circuit
+from repro.experiments.ext_slotsize import measured_fragmentation
+from repro.network import NetworkConfig, measure_saturation
+from repro.utils.rng import RandomStream
+
+
+class TestSlotSizeMeasurement:
+    def test_measured_fragmentation_in_unit_range(self):
+        fraction = measured_fragmentation(slot_bytes=8, messages=8)
+        assert 0.0 <= fraction < 1.0
+
+    def test_one_byte_slots_never_fragment(self):
+        fraction = measured_fragmentation(slot_bytes=1, messages=4)
+        assert fraction == 0.0
+
+
+class TestSerializedSaturationOrdering:
+    def test_damq_leads_under_serialization(self):
+        base = NetworkConfig(
+            num_ports=16,
+            slots_per_buffer=8,
+            packet_size_max=2,
+            serialize_links=True,
+            seed=77,
+        )
+        results = {
+            kind: measure_saturation(
+                base.with_overrides(buffer_kind=kind), 100, 500
+            ).saturation_throughput
+            for kind in ("FIFO", "DAMQ")
+        }
+        assert results["DAMQ"] > results["FIFO"]
+
+
+class TestMeshBurst:
+    def test_mesh_all_pairs_burst_byte_exact(self):
+        """Nine nodes, all 72 ordered pairs, random payloads — everything
+        arrives intact through shared relays and flow control."""
+        network, names = build_mesh(3, 3)
+        rng = RandomStream(31, "mesh")
+        circuits = {}
+        expected = {}
+        for source in names:
+            for destination in names:
+                if source == destination:
+                    continue
+                circuit = open_shortest_circuit(network, source, destination)
+                payload = bytes(
+                    rng.randint(0, 256) for _ in range(rng.randint(1, 80))
+                )
+                network.send(circuit, payload)
+                circuits[(source, destination)] = circuit
+                expected[(source, destination)] = payload
+        network.run_until_idle(max_cycles=300_000)
+        for (source, destination), circuit in circuits.items():
+            received = [
+                message.payload
+                for message in network.nodes[destination].host.received_messages
+                if message.delivery_tag == circuit.delivery_tag
+            ]
+            assert received == [expected[(source, destination)]], (
+                source,
+                destination,
+            )
+        network.check_invariants()
+
+
+class TestPacketizeExtremes:
+    def test_maximum_message_size(self):
+        from repro.chip import packetize
+
+        chunks = packetize(b"m" * 65535)
+        assert sum(len(chunk) for chunk in chunks) == 65535 + 2
+        assert all(len(chunk) <= 32 for chunk in chunks)
+        assert len(chunks) == -(-65537 // 32)
+
+
+class TestCounterResets:
+    def test_source_and_sink_reset(self):
+        from repro.core.packet import PacketFactory
+        from repro.network.sources import Sink, Source
+        from repro.network.topology import OmegaTopology
+        from repro.network.traffic import UniformTraffic
+
+        source = Source(
+            port=0,
+            offered_load=1.0,
+            topology=OmegaTopology(16, 4),
+            pattern=UniformTraffic(16),
+            factory=PacketFactory(),
+            rng=RandomStream(1, "reset"),
+            queue_capacity=1,
+        )
+        source.maybe_generate(0)
+        source.maybe_generate(1)  # stalls
+        assert source.generated == 1 and source.stalled_cycles == 1
+        source.reset_counters()
+        assert source.generated == 0 and source.stalled_cycles == 0
+
+        sink = Sink(3)
+        sink.deliver(PacketFactory().create(0, 3), 0)
+        sink.reset_counters()
+        assert sink.received == 0 and sink.misrouted == 0

@@ -1,0 +1,126 @@
+"""Failure-injection tests: corrupt internal state and verify detection.
+
+The library carries structural self-checks (`check_invariants`) and
+runtime guards (crossbar legality, read-after-write protection, routing
+validation).  These tests deliberately break things and assert the
+defences actually fire — guarding against silently-passing checks.
+"""
+
+import pytest
+
+from repro.chip import ChipNetwork, ComCoBBChip
+from repro.core import DamqBuffer, SlotListManager
+from repro.core.linkedlist import NO_SLOT
+from repro.core.packet import Packet, PacketFactory
+from repro.errors import ProtocolError, RoutingError, SimulationError
+
+
+class TestLinkedListCorruptionDetected:
+    def test_pointer_register_corruption(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(0)
+        manager.allocate(0)
+        # Sever the chain: the first slot no longer points at the second.
+        manager._next[manager._head[0]] = NO_SLOT
+        with pytest.raises(AssertionError):
+            manager.check_invariants()
+
+    def test_length_register_corruption(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(1)
+        manager._length[1] = 2  # claims two slots, chain has one
+        with pytest.raises(AssertionError):
+            manager.check_invariants()
+
+    def test_slot_on_two_lists(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(0)
+        # Alias the same slot onto the second list.
+        manager._head[1] = manager._head[0]
+        manager._tail[1] = manager._head[0]
+        manager._length[1] = 1
+        with pytest.raises(AssertionError):
+            manager.check_invariants()
+
+
+class TestDamqBufferCorruptionDetected:
+    def test_count_cache_drift(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=2)
+        buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
+        buffer._packet_counts[0] = 2  # cache no longer matches the list
+        with pytest.raises(AssertionError):
+            buffer.check_invariants()
+
+    def test_phantom_packet_slot(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=2)
+        buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
+        slot = buffer._lists.head(0)
+        buffer._slot_packet[slot] = None  # data RAM lost the packet
+        with pytest.raises(AssertionError):
+            buffer.check_invariants()
+
+
+class TestChipGuards:
+    def test_unprogrammed_circuit_raises_at_reception(self):
+        """A header with no routing entry must fail loudly, not drop."""
+        network = ChipNetwork()
+        network.add_node("a")
+        network.add_node("b")
+        network.connect("a", 0, "b", 0)
+        # Bypass open_circuit: inject a packet with an unknown header.
+        network.nodes["a"].host.send_message(77, b"x")
+        with pytest.raises(RoutingError):
+            network.run_until_idle(max_cycles=100)
+
+    def test_chip_invariant_check_detects_tampering(self):
+        chip = ComCoBBChip("t")
+        packet = chip.buffers[0].begin_packet(2, new_header=1)
+        chip.buffers[0].set_length(packet, 4)
+        packet.slots.append(99)  # record claims a slot it never got
+        with pytest.raises(Exception):
+            chip.check_invariants()
+
+    def test_double_drive_is_a_short_circuit(self):
+        from repro.chip.wires import Wire
+
+        wire = Wire("bus")
+        wire.drive(1)
+        with pytest.raises(ProtocolError):
+            wire.drive(2)
+
+
+class TestSimulatorGuards:
+    def test_blocking_overflow_is_fatal_not_silent(self):
+        """If flow control were broken, the simulator must raise rather
+        than quietly drop packets under the blocking protocol."""
+        from repro.network import NetworkConfig
+        from repro.network.simulator import OmegaNetworkSimulator
+
+        simulator = OmegaNetworkSimulator(
+            NetworkConfig(num_ports=16, offered_load=1.0, seed=3)
+        )
+        for _ in range(50):
+            simulator.step()
+        # Sabotage: fill a stage-1 buffer behind the arbiter's back.
+        factory = PacketFactory()
+        victim = simulator.switches[1][0].buffers[0]
+        while victim.can_accept(1):
+            victim.push(factory.create(0, 0, route=(0, 1)), 1)
+        # The stage-0 arbiter's flow-control view is now stale; if it ever
+        # forwards into the full buffer the simulator must raise.
+        try:
+            for _ in range(30):
+                simulator.step()
+        except SimulationError:
+            pass  # the guard fired - acceptable
+        else:
+            # Or flow control genuinely prevented any forward: the buffer
+            # must still never exceed its capacity.
+            assert victim.occupancy <= victim.capacity
+
+    def test_packet_without_route_entry_fails(self):
+        packet = Packet(packet_id=1, source=0, destination=0, route=())
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            packet.output_port_at_current_hop()

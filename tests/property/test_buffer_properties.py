@@ -1,0 +1,143 @@
+"""Property-based tests: the four buffer architectures against a reference.
+
+A reference model (per-destination deques plus the architecture's
+acceptance rule) is driven in lockstep with the real buffers through
+arbitrary push/pop sequences.  FIFO order per queue, occupancy accounting,
+and acceptance decisions must agree everywhere.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DamqBuffer, FifoBuffer, SafcBuffer, SamqBuffer
+from repro.core.packet import Packet
+
+NUM_OUTPUTS = 4
+CAPACITY = 8
+
+BUFFER_CLASSES = [FifoBuffer, SamqBuffer, SafcBuffer, DamqBuffer]
+
+#: (op, destination): push or pop against one destination queue.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop"]),
+        st.integers(min_value=0, max_value=NUM_OUTPUTS - 1),
+    ),
+    max_size=80,
+)
+
+
+class ReferenceBuffer:
+    """Deque-based model of each architecture's acceptance/visibility."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.queues = [deque() for _ in range(NUM_OUTPUTS)]
+        self.order = deque()  # arrival order, for FIFO visibility
+
+    def occupancy(self) -> int:
+        return sum(len(queue) for queue in self.queues)
+
+    def can_accept(self, destination: int) -> bool:
+        if self.kind == "FIFO":
+            return self.occupancy() < CAPACITY
+        if self.kind == "DAMQ":
+            return self.occupancy() < CAPACITY
+        return len(self.queues[destination]) < CAPACITY // NUM_OUTPUTS
+
+    def push(self, packet, destination: int) -> None:
+        self.queues[destination].append(packet)
+        self.order.append((packet, destination))
+
+    def visible(self, destination: int):
+        if self.kind == "FIFO":
+            if not self.order:
+                return None
+            packet, head_destination = self.order[0]
+            return packet if head_destination == destination else None
+        queue = self.queues[destination]
+        return queue[0] if queue else None
+
+    def pop(self, destination: int):
+        packet = self.visible(destination)
+        assert packet is not None
+        self.queues[destination].popleft()
+        if self.kind == "FIFO":
+            self.order.popleft()
+        else:
+            self.order.remove((packet, destination))
+        return packet
+
+
+@settings(max_examples=120)
+@given(ops=operations, cls=st.sampled_from(BUFFER_CLASSES))
+def test_buffer_matches_reference(ops, cls):
+    real = cls(CAPACITY, NUM_OUTPUTS)
+    reference = ReferenceBuffer(cls.kind)
+    next_id = 0
+    for op, destination in ops:
+        if op == "push":
+            assert real.can_accept(destination) == reference.can_accept(
+                destination
+            ), f"can_accept diverged for {cls.kind}"
+            if reference.can_accept(destination):
+                packet = Packet(
+                    packet_id=next_id, source=0, destination=destination
+                )
+                next_id += 1
+                real.push(packet, destination)
+                reference.push(packet, destination)
+        else:
+            expected = reference.visible(destination)
+            actual = real.peek(destination)
+            if expected is None:
+                assert actual is None
+            else:
+                assert actual is expected
+                assert real.pop(destination) is reference.pop(destination)
+        assert real.occupancy == reference.occupancy()
+    if isinstance(real, DamqBuffer):
+        real.check_invariants()
+
+
+@settings(max_examples=60)
+@given(ops=operations)
+def test_damq_total_slots_never_exceeded(ops):
+    buffer = DamqBuffer(CAPACITY, NUM_OUTPUTS)
+    next_id = 0
+    for op, destination in ops:
+        if op == "push" and buffer.can_accept(destination):
+            buffer.push(
+                Packet(packet_id=next_id, source=0, destination=destination),
+                destination,
+            )
+            next_id += 1
+        elif op == "pop" and buffer.peek(destination) is not None:
+            buffer.pop(destination)
+        assert 0 <= buffer.occupancy <= CAPACITY
+        assert buffer.free_slots == CAPACITY - buffer.occupancy
+
+
+@settings(max_examples=60)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=4), max_size=10),
+    destination=st.integers(min_value=0, max_value=NUM_OUTPUTS - 1),
+)
+def test_damq_variable_size_slot_accounting(sizes, destination):
+    """Multi-slot packets consume exactly their size and free it on pop."""
+    buffer = DamqBuffer(16, NUM_OUTPUTS)
+    accepted = []
+    for index, size in enumerate(sizes):
+        packet = Packet(
+            packet_id=index, source=0, destination=destination, size=size
+        )
+        if buffer.can_accept(destination, size=size):
+            buffer.push(packet, destination)
+            accepted.append(packet)
+    assert buffer.occupancy == sum(p.size for p in accepted)
+    for packet in accepted:
+        assert buffer.pop(destination) is packet
+    assert buffer.occupancy == 0
+    buffer.check_invariants()

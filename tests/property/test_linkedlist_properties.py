@@ -1,0 +1,101 @@
+"""Property-based tests for the slot linked-list manager.
+
+The manager is the foundation under both DAMQ models; these tests drive it
+with arbitrary operation sequences and check slot conservation, FIFO order
+and equivalence with a reference implementation built on plain deques.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linkedlist import SlotListManager
+from repro.errors import BufferEmptyError, BufferFullError
+
+NUM_LISTS = 3
+NUM_SLOTS = 8
+
+#: An operation: (op, list_id).
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "release"]),
+        st.integers(min_value=0, max_value=NUM_LISTS - 1),
+    ),
+    max_size=60,
+)
+
+
+class ReferenceLists:
+    """Trivially correct model: one deque per list plus a free deque."""
+
+    def __init__(self) -> None:
+        self.free = deque(range(NUM_SLOTS))
+        self.lists = [deque() for _ in range(NUM_LISTS)]
+
+    def alloc(self, list_id):
+        slot = self.free.popleft()
+        self.lists[list_id].append(slot)
+        return slot
+
+    def release(self, list_id):
+        slot = self.lists[list_id].popleft()
+        self.free.append(slot)
+        return slot
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_matches_reference_model(ops):
+    manager = SlotListManager(NUM_SLOTS, NUM_LISTS)
+    reference = ReferenceLists()
+    for op, list_id in ops:
+        if op == "alloc":
+            if reference.free:
+                assert manager.allocate(list_id) == reference.alloc(list_id)
+            else:
+                try:
+                    manager.allocate(list_id)
+                    raise AssertionError("expected BufferFullError")
+                except BufferFullError:
+                    pass
+        else:
+            if reference.lists[list_id]:
+                assert manager.release_head(list_id) == reference.release(list_id)
+            else:
+                try:
+                    manager.release_head(list_id)
+                    raise AssertionError("expected BufferEmptyError")
+                except BufferEmptyError:
+                    pass
+        # Structural invariants hold after every single operation.
+        manager.check_invariants()
+        for list_id2 in range(NUM_LISTS):
+            assert manager.slots(list_id2) == list(reference.lists[list_id2])
+        assert manager.free_slots() == list(reference.free)
+
+
+@given(operations)
+@settings(max_examples=100)
+def test_slot_conservation(ops):
+    manager = SlotListManager(NUM_SLOTS, NUM_LISTS)
+    for op, list_id in ops:
+        try:
+            if op == "alloc":
+                manager.allocate(list_id)
+            else:
+                manager.release_head(list_id)
+        except (BufferFullError, BufferEmptyError):
+            continue
+    total = manager.free_count + sum(
+        manager.length(list_id) for list_id in range(NUM_LISTS)
+    )
+    assert total == NUM_SLOTS
+
+
+@given(st.integers(min_value=1, max_value=NUM_SLOTS))
+def test_fifo_order_for_any_batch_size(batch):
+    manager = SlotListManager(NUM_SLOTS, 1)
+    allocated = [manager.allocate(0) for _ in range(batch)]
+    released = [manager.release_head(0) for _ in range(batch)]
+    assert released == allocated

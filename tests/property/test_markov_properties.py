@@ -1,0 +1,106 @@
+"""Property-based tests on the Markov analysis.
+
+These pin mathematical invariants that must hold for *any* parameters:
+stochastic transition rows, probabilities in [0, 1], flow conservation,
+and monotonicity of discarding in traffic rate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.arbitration import service_outcomes
+from repro.markov.models import SwitchChainBuilder
+from repro.markov.ports import port_model
+
+KINDS = ["FIFO", "DAMQ", "SAMQ", "SAFC"]
+
+_BUILDERS: dict[tuple[str, int], SwitchChainBuilder] = {}
+
+
+def builder_for(kind: str, slots: int) -> SwitchChainBuilder:
+    key = (kind, slots)
+    if key not in _BUILDERS:
+        _BUILDERS[key] = SwitchChainBuilder(kind, slots)
+    return _BUILDERS[key]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(KINDS),
+    slots=st.sampled_from([2, 4]),
+    rate=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_chain_rows_stochastic_and_probabilities_bounded(kind, slots, rate):
+    builder = builder_for(kind, slots)
+    chain = builder.chain(rate)  # constructor validates row sums
+    row_sums = np.asarray(chain.matrix.sum(axis=1)).ravel()
+    assert np.allclose(row_sums, 1.0, atol=1e-8)
+    state = builder.analyze(rate)
+    assert 0.0 <= state.discard_probability <= 1.0
+    assert 0.0 <= state.throughput <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kind=st.sampled_from(KINDS),
+    rate=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_flow_conservation(kind, rate):
+    """Accepted arrival rate equals departure rate in steady state."""
+    state = builder_for(kind, 4).analyze(rate)
+    accepted = rate * (1.0 - state.discard_probability)
+    assert state.throughput == pytest.approx(accepted, abs=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(KINDS),
+    low=st.floats(min_value=0.1, max_value=0.5),
+    delta=st.floats(min_value=0.05, max_value=0.4),
+)
+def test_discard_monotone_in_traffic(kind, low, delta):
+    builder = builder_for(kind, 4)
+    assert (
+        builder.analyze(low).discard_probability
+        <= builder.analyze(min(1.0, low + delta)).discard_probability + 1e-12
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(KINDS),
+    counts=st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    ),
+)
+def test_service_outcomes_always_valid(kind, counts):
+    """For any joint state: weights sum to 1, service sets are feasible."""
+    model = port_model(kind, 4)
+    if kind == "FIFO":
+        states = [
+            tuple([0] * counts[0] + [1] * counts[1]),
+            tuple([1] * counts[2] + [0] * counts[3]),
+        ]
+    else:
+        states = [(counts[0], counts[1]), (counts[2], counts[3])]
+    outcomes = service_outcomes(model, states)
+    assert sum(weight for weight, _ in outcomes) == 1
+    sizes = set()
+    for _weight, served in outcomes:
+        sizes.add(len(served))
+        outputs = [output for _input, output in served]
+        assert len(set(outputs)) == len(outputs)  # one packet per output
+        per_input: dict[int, int] = {}
+        for input_port, _output in served:
+            per_input[input_port] = per_input.get(input_port, 0) + 1
+        assert all(
+            count <= model.max_serves_per_cycle for count in per_input.values()
+        )
+        for input_port, output in served:
+            assert model.queue_lengths(states[input_port])[output] > 0
+    assert len(sizes) <= 1  # all outcomes serve the same (maximal) count

@@ -1,0 +1,74 @@
+"""Property-based tests over the network simulator's configuration space.
+
+Randomized configurations (buffer type, load, protocol, arbitration,
+packet sizes) must all preserve the fundamental accounting invariants:
+packet conservation, capacity bounds, and correct delivery.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import NetworkConfig
+from repro.network.simulator import OmegaNetworkSimulator
+from repro.switch.flow_control import Protocol
+
+configs = st.fixed_dictionaries(
+    {
+        "buffer_kind": st.sampled_from(["FIFO", "SAMQ", "SAFC", "DAMQ"]),
+        "offered_load": st.sampled_from([0.1, 0.5, 0.9, 1.0]),
+        "protocol": st.sampled_from([Protocol.BLOCKING, Protocol.DISCARDING]),
+        "arbiter_kind": st.sampled_from(["smart", "dumb"]),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "slots_per_buffer": st.sampled_from([4, 8]),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=configs)
+def test_conservation_and_capacity(config):
+    simulator = OmegaNetworkSimulator(
+        NetworkConfig(num_ports=16, radix=4, **config)
+    )
+    simulator._measure_start_clock = 0  # count every discard
+    for _ in range(150):
+        simulator.step()
+    generated = sum(source.generated for source in simulator.sources)
+    delivered = sum(sink.received for sink in simulator.sinks)
+    queued = sum(len(source.queue) for source in simulator.sources)
+    in_network = simulator.total_buffered
+    discarded = simulator.meters.discarded
+    assert generated == delivered + queued + in_network + discarded
+    assert all(sink.misrouted == 0 for sink in simulator.sinks)
+    for row in simulator.switches:
+        for switch in row:
+            for buffer in switch.buffers:
+                assert 0 <= buffer.occupancy <= buffer.capacity
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    size_max=st.integers(min_value=1, max_value=3),
+)
+def test_variable_sizes_conserve_slots(seed, size_max):
+    simulator = OmegaNetworkSimulator(
+        NetworkConfig(
+            num_ports=16,
+            buffer_kind="DAMQ",
+            slots_per_buffer=8,
+            offered_load=0.8,
+            packet_size=1,
+            packet_size_max=size_max,
+            seed=seed,
+        )
+    )
+    for _ in range(120):
+        simulator.step()
+    for row in simulator.switches:
+        for switch in row:
+            for buffer in switch.buffers:
+                buffer.check_invariants()
+                assert buffer.occupancy == sum(
+                    packet.size for packet in buffer.packets()
+                )

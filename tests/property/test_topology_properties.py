@@ -1,0 +1,53 @@
+"""Property-based tests for the Omega topology over random sizes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import OmegaTopology
+
+#: (radix, exponent) pairs small enough to check exhaustively per example.
+shapes = st.sampled_from(
+    [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2), (4, 3), (5, 2), (8, 2)]
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_random_pairs_self_route(shape, data):
+    radix, exponent = shape
+    num_ports = radix**exponent
+    topology = OmegaTopology(num_ports, radix)
+    source = data.draw(st.integers(min_value=0, max_value=num_ports - 1))
+    destination = data.draw(st.integers(min_value=0, max_value=num_ports - 1))
+    assert topology.delivered_output(source, destination) == destination
+    route = topology.route(source, destination)
+    assert len(route) == topology.num_stages
+    assert all(0 <= port < radix for port in route)
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=shapes)
+def test_shuffle_is_a_bijection(shape):
+    radix, exponent = shape
+    num_ports = radix**exponent
+    topology = OmegaTopology(num_ports, radix)
+    image = {topology.shuffle(link) for link in range(num_ports)}
+    assert image == set(range(num_ports))
+    for link in range(num_ports):
+        assert topology.unshuffle(topology.shuffle(link)) == link
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=shapes, data=st.data())
+def test_route_destination_only(shape, data):
+    """An Omega route depends only on the destination, never the source —
+    the property that makes destination-tag self-routing possible."""
+    radix, exponent = shape
+    num_ports = radix**exponent
+    topology = OmegaTopology(num_ports, radix)
+    destination = data.draw(st.integers(min_value=0, max_value=num_ports - 1))
+    source_a = data.draw(st.integers(min_value=0, max_value=num_ports - 1))
+    source_b = data.draw(st.integers(min_value=0, max_value=num_ports - 1))
+    assert topology.route(source_a, destination) == topology.route(
+        source_b, destination
+    )

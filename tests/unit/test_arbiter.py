@@ -1,0 +1,157 @@
+"""Unit tests for the crossbar arbiters (dumb and smart round robin)."""
+
+import pytest
+
+from repro.core import DamqBuffer, FifoBuffer, SafcBuffer
+from repro.errors import ConfigurationError
+from repro.switch.arbiter import CrossbarArbiter, make_arbiter
+from tests.conftest import make_packet
+
+
+def never_blocked(input_port, output_port, packet):
+    return False
+
+
+def buffers_with(cls, layout, capacity=8, num_outputs=4):
+    """Build buffers from {input: [(packet_id, dest), ...]}."""
+    buffers = [cls(capacity, num_outputs) for _ in range(4)]
+    for input_port, packets in layout.items():
+        for packet_id, destination in packets:
+            buffers[input_port].push(
+                make_packet(packet_id=packet_id, destination=destination),
+                destination,
+            )
+    return buffers
+
+
+class TestBasicGrants:
+    def test_single_packet_granted(self):
+        buffers = buffers_with(DamqBuffer, {0: [(1, 2)]})
+        arbiter = make_arbiter("dumb", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 1
+        assert (grants[0].input_port, grants[0].output_port) == (0, 2)
+
+    def test_disjoint_requests_all_granted(self):
+        buffers = buffers_with(
+            DamqBuffer, {0: [(1, 0)], 1: [(2, 1)], 2: [(3, 2)], 3: [(4, 3)]}
+        )
+        arbiter = make_arbiter("smart", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 4
+
+    def test_output_conflict_grants_one(self):
+        buffers = buffers_with(DamqBuffer, {0: [(1, 2)], 1: [(2, 2)]})
+        arbiter = make_arbiter("dumb", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 1
+        assert grants[0].output_port == 2
+
+    def test_longest_queue_wins_within_buffer(self):
+        buffers = buffers_with(
+            DamqBuffer, {0: [(1, 0), (2, 0), (3, 1)]}
+        )
+        arbiter = make_arbiter("dumb", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 1
+        assert grants[0].output_port == 0  # queue of length 2 beats 1
+
+    def test_blocked_output_skipped(self):
+        buffers = buffers_with(DamqBuffer, {0: [(1, 0), (2, 1)]})
+        arbiter = make_arbiter("dumb", 4, 4)
+
+        def block_output_zero(input_port, output_port, packet):
+            return output_port == 0
+
+        grants = arbiter.arbitrate(buffers, block_output_zero)
+        assert len(grants) == 1
+        assert grants[0].output_port == 1
+
+    def test_fifo_buffer_offers_only_head(self):
+        buffers = buffers_with(FifoBuffer, {0: [(1, 0), (2, 1)]})
+        arbiter = make_arbiter("dumb", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 1
+        assert grants[0].output_port == 0  # head of line only
+
+    def test_safc_buffer_feeds_multiple_outputs(self):
+        buffers = buffers_with(SafcBuffer, {0: [(1, 0), (2, 1), (3, 2)]})
+        arbiter = make_arbiter("dumb", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 3
+        assert {grant.output_port for grant in grants} == {0, 1, 2}
+
+    def test_damq_buffer_feeds_one_output_per_cycle(self):
+        buffers = buffers_with(DamqBuffer, {0: [(1, 0), (2, 1), (3, 2)]})
+        arbiter = make_arbiter("dumb", 4, 4)
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert len(grants) == 1
+
+
+class TestFairness:
+    def test_dumb_priority_rotates_every_cycle(self):
+        arbiter = make_arbiter("dumb", 4, 4)
+        winners = []
+        for _ in range(4):
+            buffers = buffers_with(DamqBuffer, {i: [(i, 0)] for i in range(4)})
+            grants = arbiter.arbitrate(buffers, never_blocked)
+            winners.append(grants[0].input_port)
+        assert winners == [0, 1, 2, 3]
+
+    def test_smart_priority_sticks_with_starved_buffer(self):
+        """A buffer whose turn yields nothing keeps its priority."""
+        arbiter = make_arbiter("smart", 4, 4)
+        # Buffer 0 has nothing; buffer 1 does.  Buffer 0's turn is not
+        # "counted": the pointer stays at 0 until buffer 0 transmits.
+        for _ in range(3):
+            buffers = buffers_with(DamqBuffer, {1: [(9, 0)]})
+            arbiter.arbitrate(buffers, never_blocked)
+        buffers = buffers_with(DamqBuffer, {0: [(1, 0)], 1: [(2, 0)]})
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert grants[0].input_port == 0  # kept its priority
+
+    def test_stale_count_breaks_queue_ties(self):
+        arbiter = make_arbiter("smart", 4, 4)
+        # Cycle 1: buffer 0 has queues for outputs 1 and 2, output 1 is
+        # blocked, so queue (0,1) ages.
+        buffers = buffers_with(DamqBuffer, {0: [(1, 1), (2, 2)]})
+
+        def block_one(input_port, output_port, packet):
+            return output_port == 1
+
+        arbiter.arbitrate(buffers, block_one)
+        assert arbiter.stale_count(0, 1) == 1
+        # Cycle 2: both outputs free, equal queue lengths — the stale
+        # queue (output 1) must win the tie.
+        grants = arbiter.arbitrate(buffers, never_blocked)
+        assert grants[0].output_port == 1
+
+    def test_stale_count_resets_on_service(self):
+        arbiter = make_arbiter("smart", 4, 4)
+        buffers = buffers_with(DamqBuffer, {0: [(1, 1), (2, 1)]})
+        arbiter.arbitrate(buffers, never_blocked)
+        assert arbiter.stale_count(0, 1) == 0
+
+    def test_stale_count_resets_when_queue_empties(self):
+        arbiter = make_arbiter("smart", 4, 4)
+        buffers = buffers_with(DamqBuffer, {0: [(1, 1)]})
+        arbiter.arbitrate(buffers, lambda i, o, p: True)  # everything blocked
+        assert arbiter.stale_count(0, 1) == 1
+        empty = [DamqBuffer(8, 4) for _ in range(4)]
+        arbiter.arbitrate(empty, never_blocked)
+        assert arbiter.stale_count(0, 1) == 0
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_arbiter("clever", 4, 4)
+
+    def test_buffer_count_mismatch_rejected(self):
+        arbiter = CrossbarArbiter(4, 4, smart=False)
+        with pytest.raises(ConfigurationError):
+            arbiter.arbitrate([DamqBuffer(4, 4)], never_blocked)
+
+    def test_kind_property(self):
+        assert make_arbiter("smart", 2, 2).kind == "smart"
+        assert make_arbiter("dumb", 2, 2).kind == "dumb"

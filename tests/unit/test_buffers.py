@@ -1,0 +1,265 @@
+"""Unit tests for the four buffer architectures against the shared contract.
+
+Parametrized tests cover the :class:`SwitchBuffer` contract for all four
+types; per-architecture classes pin down the behaviours that distinguish
+them (head-of-line blocking, static partitioning, dynamic sharing, read
+fan-out).
+"""
+
+import pytest
+
+from repro.core import (
+    DamqBuffer,
+    FifoBuffer,
+    SafcBuffer,
+    SamqBuffer,
+)
+from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+from tests.conftest import fill_buffer, make_packet
+
+ALL_TYPES = [FifoBuffer, SamqBuffer, SafcBuffer, DamqBuffer]
+
+
+@pytest.fixture(params=ALL_TYPES, ids=lambda cls: cls.kind)
+def any_buffer(request):
+    """One 4-slot, 4-output buffer of each architecture."""
+    return request.param(capacity=4, num_outputs=4)
+
+
+class TestSharedContract:
+    def test_starts_empty(self, any_buffer):
+        assert any_buffer.is_empty
+        assert any_buffer.occupancy == 0
+        assert any_buffer.free_slots == 4
+        assert any_buffer.available_outputs() == []
+
+    def test_push_then_peek_then_pop(self, any_buffer):
+        packet = make_packet(packet_id=7, destination=2)
+        any_buffer.push(packet, 2)
+        assert any_buffer.occupancy == 1
+        assert any_buffer.peek(2) is packet
+        assert any_buffer.pop(2) is packet
+        assert any_buffer.is_empty
+
+    def test_pop_empty_raises(self, any_buffer):
+        with pytest.raises(BufferEmptyError):
+            any_buffer.pop(0)
+
+    def test_push_beyond_capacity_raises(self, any_buffer):
+        # Fill destination 1 to its limit, whatever that limit is.
+        destination = 1
+        count = 0
+        while any_buffer.can_accept(destination):
+            any_buffer.push(make_packet(packet_id=count, destination=destination), destination)
+            count += 1
+        with pytest.raises(BufferFullError):
+            any_buffer.push(make_packet(packet_id=99, destination=destination), destination)
+
+    @pytest.mark.parametrize("cls", ALL_TYPES, ids=lambda c: c.kind)
+    def test_fifo_order_within_one_destination(self, cls):
+        # capacity 8 so even the statically partitioned types hold two
+        # packets per destination (partition of 2).
+        buffer = cls(capacity=8, num_outputs=4)
+        first = make_packet(packet_id=1, destination=0)
+        second = make_packet(packet_id=2, destination=0)
+        buffer.push(first, 0)
+        buffer.push(second, 0)
+        assert buffer.pop(0) is first
+        assert buffer.pop(0) is second
+
+    def test_invalid_output_index_rejected(self, any_buffer):
+        with pytest.raises(ConfigurationError):
+            any_buffer.peek(4)
+        with pytest.raises(ConfigurationError):
+            any_buffer.can_accept(-1)
+
+    def test_packets_lists_everything(self, any_buffer):
+        pushed = {
+            any_buffer.push(make_packet(packet_id=i, destination=i), i) or i
+            for i in range(3)
+        }
+        ids = {packet.packet_id for packet in any_buffer.packets()}
+        assert ids == pushed
+
+    def test_queue_length_zero_when_empty(self, any_buffer):
+        for output in range(4):
+            assert any_buffer.queue_length(output) == 0
+
+    def test_capacity_validation(self):
+        for cls in ALL_TYPES:
+            with pytest.raises(ConfigurationError):
+                cls(capacity=0, num_outputs=4)
+
+
+class TestConservativeAcceptance:
+    """can_accept_without_prerouting — the Section 2 flow-control question."""
+
+    def test_single_pool_buffers_match_can_accept(self):
+        for cls in (FifoBuffer, DamqBuffer):
+            buffer = cls(capacity=4, num_outputs=4)
+            fill_buffer(buffer, destination=0, count=3)
+            assert buffer.can_accept_without_prerouting() is True
+            fill_buffer(buffer, destination=1, count=1, start_id=50)
+            assert buffer.can_accept_without_prerouting() is False
+
+    def test_partitioned_buffer_needs_every_partition_open(self):
+        buffer = SamqBuffer(capacity=4, num_outputs=4)
+        assert buffer.can_accept_without_prerouting() is True
+        buffer.push(make_packet(packet_id=1, destination=2), 2)
+        # Partition 2 is full; a non-pre-routed packet cannot be promised.
+        assert buffer.can_accept_without_prerouting() is False
+        assert buffer.can_accept(0) is True  # precise knowledge still fits
+
+    def test_size_parameter_respected(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=2)
+        fill_buffer(buffer, destination=0, count=2)
+        assert buffer.can_accept_without_prerouting(size=2) is True
+        assert buffer.can_accept_without_prerouting(size=3) is False
+
+
+class TestFifoSpecifics:
+    def test_head_of_line_blocking(self):
+        """A head packet for a busy port hides everything behind it."""
+        buffer = FifoBuffer(capacity=4, num_outputs=4)
+        buffer.push(make_packet(packet_id=1, destination=0), 0)
+        buffer.push(make_packet(packet_id=2, destination=3), 3)
+        assert buffer.peek(3) is None  # blocked behind the packet for 0
+        assert buffer.available_outputs() == [0]
+
+    def test_queue_length_attributed_to_head(self):
+        buffer = FifoBuffer(capacity=4, num_outputs=4)
+        buffer.push(make_packet(packet_id=1, destination=2), 2)
+        buffer.push(make_packet(packet_id=2, destination=0), 0)
+        assert buffer.queue_length(2) == 2  # whole buffer counts
+        assert buffer.queue_length(0) == 0
+
+    def test_whole_capacity_usable_by_one_destination(self):
+        buffer = FifoBuffer(capacity=4, num_outputs=4)
+        fill_buffer(buffer, destination=1, count=4)
+        assert buffer.occupancy == 4
+        assert not buffer.can_accept(2)
+
+    def test_head_destination_helper(self):
+        buffer = FifoBuffer(capacity=4, num_outputs=4)
+        assert buffer.head_destination() is None
+        buffer.push(make_packet(packet_id=1, destination=3), 3)
+        assert buffer.head_destination() == 3
+
+    def test_variable_size_packet_occupies_multiple_slots(self):
+        buffer = FifoBuffer(capacity=4, num_outputs=2)
+        big = make_packet(packet_id=1, destination=0, size=3)
+        buffer.push(big, 0)
+        assert buffer.occupancy == 3
+        assert not buffer.can_accept(0, size=2)
+        assert buffer.can_accept(0, size=1)
+        assert buffer.pop(0) is big
+        assert buffer.is_empty
+
+
+class TestSamqSpecifics:
+    def test_capacity_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            SamqBuffer(capacity=5, num_outputs=4)
+
+    def test_static_partition_rejects_when_full(self):
+        buffer = SamqBuffer(capacity=4, num_outputs=4)
+        buffer.push(make_packet(packet_id=1, destination=0), 0)
+        assert not buffer.can_accept(0)  # partition of 1 slot is full
+        assert buffer.can_accept(1)  # but other partitions are open
+        with pytest.raises(BufferFullError):
+            buffer.push(make_packet(packet_id=2, destination=0), 0)
+
+    def test_no_head_of_line_blocking_across_queues(self):
+        buffer = SamqBuffer(capacity=8, num_outputs=4)
+        buffer.push(make_packet(packet_id=1, destination=0), 0)
+        buffer.push(make_packet(packet_id=2, destination=3), 3)
+        assert buffer.peek(3) is not None
+        assert sorted(buffer.available_outputs()) == [0, 3]
+
+    def test_partition_occupancy(self):
+        buffer = SamqBuffer(capacity=8, num_outputs=4)
+        fill_buffer(buffer, destination=2, count=2)
+        assert buffer.partition_occupancy(2) == 2
+        assert buffer.partition_occupancy(0) == 0
+
+    def test_single_read_port_flag(self):
+        assert SamqBuffer(4, 4).max_reads_per_cycle == 1
+
+
+class TestSafcSpecifics:
+    def test_read_fanout_equals_outputs(self):
+        assert SafcBuffer(4, 4).max_reads_per_cycle == 4
+
+    def test_storage_behaves_like_samq(self):
+        buffer = SafcBuffer(capacity=4, num_outputs=4)
+        buffer.push(make_packet(packet_id=1, destination=0), 0)
+        assert not buffer.can_accept(0)
+        assert buffer.can_accept(1)
+
+    def test_kind_label(self):
+        assert SafcBuffer(4, 4).kind == "SAFC"
+
+
+class TestDamqSpecifics:
+    def test_dynamic_sharing_uses_whole_pool(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=4)
+        fill_buffer(buffer, destination=2, count=4)
+        assert buffer.occupancy == 4
+        assert not buffer.can_accept(0)  # pool exhausted, all queues reject
+
+    def test_no_head_of_line_blocking(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=4)
+        buffer.push(make_packet(packet_id=1, destination=0), 0)
+        buffer.push(make_packet(packet_id=2, destination=3), 3)
+        assert buffer.peek(3).packet_id == 2
+        assert sorted(buffer.available_outputs()) == [0, 3]
+
+    def test_queue_length_counts_packets_not_slots(self):
+        buffer = DamqBuffer(capacity=6, num_outputs=2)
+        buffer.push(make_packet(packet_id=1, destination=0, size=3), 0)
+        buffer.push(make_packet(packet_id=2, destination=0, size=1), 0)
+        assert buffer.queue_length(0) == 2
+        assert buffer.occupancy == 4
+
+    def test_multi_slot_packet_round_trip(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=2)
+        big = make_packet(packet_id=1, destination=1, size=4)
+        buffer.push(big, 1)
+        assert not buffer.can_accept(0)
+        assert buffer.pop(1) is big
+        assert buffer.free_slots == 4
+        buffer.check_invariants()
+
+    def test_multi_slot_rejected_when_fragmented_free_space_insufficient(self):
+        buffer = DamqBuffer(capacity=4, num_outputs=2)
+        buffer.push(make_packet(packet_id=1, destination=0, size=2), 0)
+        assert not buffer.can_accept(1, size=3)
+        with pytest.raises(BufferFullError):
+            buffer.push(make_packet(packet_id=2, destination=1, size=3), 1)
+
+    def test_interleaved_queues_recycle_slots(self):
+        buffer = DamqBuffer(capacity=3, num_outputs=3)
+        a = make_packet(packet_id=1, destination=0)
+        b = make_packet(packet_id=2, destination=1)
+        c = make_packet(packet_id=3, destination=2)
+        buffer.push(a, 0)
+        buffer.push(b, 1)
+        buffer.push(c, 2)
+        assert buffer.pop(1) is b
+        d = make_packet(packet_id=4, destination=1)
+        buffer.push(d, 1)  # reuses the slot b freed
+        assert buffer.occupancy == 3
+        buffer.check_invariants()
+
+    def test_invariants_after_stress(self):
+        buffer = DamqBuffer(capacity=5, num_outputs=3)
+        for round_number in range(20):
+            destination = round_number % 3
+            if buffer.can_accept(destination):
+                buffer.push(
+                    make_packet(packet_id=round_number, destination=destination),
+                    destination,
+                )
+            elif buffer.peek(destination) is not None:
+                buffer.pop(destination)
+            buffer.check_invariants()

@@ -1,0 +1,114 @@
+"""Unit tests for the chip-level central arbiter."""
+
+from repro.chip.arbiter import ChipArbiter
+from repro.chip.output_port import OutputPort
+from repro.chip.slots import DamqBufferHw
+from repro.chip.wires import Link
+
+
+def make_parts(num_slots=12):
+    buffers = [DamqBufferHw(num_slots, 5, port) for port in range(5)]
+    ports = [OutputPort(port, "chip") for port in range(5)]
+    for port in ports:
+        port.attach(Link(f"out{port.port_id}"))
+    return buffers, ports
+
+
+def ready_packet(buffer, destination, length=4):
+    packet = buffer.begin_packet(destination, new_header=0)
+    buffer.set_length(packet, length)
+    for i in range(length):
+        buffer.write_byte(packet, i)
+    return packet
+
+
+class TestGrants:
+    def test_grants_ready_queue_to_idle_port(self):
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=2)
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert ports[2].busy
+        assert buffers[0].reader_active
+
+    def test_skips_packet_without_length(self):
+        buffers, ports = make_parts()
+        buffers[0].begin_packet(destination=2, new_header=0)  # no length yet
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert not ports[2].busy
+
+    def test_single_read_port_per_buffer(self):
+        """One buffer with packets for two outputs feeds only one."""
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=1)
+        ready_packet(buffers[0], destination=2)
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert sum(port.busy for port in ports) == 1
+
+    def test_two_buffers_feed_two_ports(self):
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=1)
+        ready_packet(buffers[2], destination=3)
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert ports[1].busy and ports[3].busy
+
+    def test_longest_queue_wins(self):
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=3, length=2)
+        ready_packet(buffers[1], destination=3, length=2)
+        ready_packet(buffers[1], destination=3, length=2)
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert buffers[1].reader_active
+        assert not buffers[0].reader_active
+
+    def test_stopped_downstream_not_granted(self):
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=2)
+        ports[2].link.stop = True
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert not ports[2].busy
+        ports[2].link.stop = False
+        arbiter.tick(1, buffers, ports)
+        assert ports[2].busy
+
+    def test_busy_port_not_regranted(self):
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=2)
+        ready_packet(buffers[1], destination=2)
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        first_reader = buffers[0].reader_active
+        arbiter.tick(1, buffers, ports)
+        # Port 2 is mid-packet; the second queue must wait.
+        assert buffers[0].reader_active == first_reader
+        assert sum(b.reader_active for b in buffers) == 1
+
+
+class TestStaleFairness:
+    def test_stale_queue_wins_length_tie(self):
+        buffers, ports = make_parts()
+        arbiter = ChipArbiter("chip", 5)
+        # Cycle 0: only buffer 3 has a packet; port 1 is stopped, so the
+        # queue ages.
+        ready_packet(buffers[3], destination=1)
+        ports[1].link.stop = True
+        arbiter.tick(0, buffers, ports)
+        assert arbiter._stale[3][1] > 0
+        # Cycle 1: buffer 0 now also has a same-length queue for port 1.
+        ready_packet(buffers[0], destination=1)
+        ports[1].link.stop = False
+        arbiter.tick(1, buffers, ports)
+        assert buffers[3].reader_active  # the older queue won
+        assert not buffers[0].reader_active
+
+    def test_grants_counter(self):
+        buffers, ports = make_parts()
+        ready_packet(buffers[0], destination=1)
+        arbiter = ChipArbiter("chip", 5)
+        arbiter.tick(0, buffers, ports)
+        assert arbiter.grants_made == 1

@@ -1,0 +1,256 @@
+"""Unit tests for the chip model's building blocks: wires, synchronizer,
+slot datapath, router."""
+
+import pytest
+
+from repro.chip.router import CircuitRouter
+from repro.chip.slots import SLOT_BYTES, DamqBufferHw
+from repro.chip.synchronizer import Synchronizer
+from repro.chip.wires import START, Link, Wire
+from repro.errors import (
+    BufferEmptyError,
+    ConfigurationError,
+    ProtocolError,
+    RoutingError,
+)
+
+
+class TestWire:
+    def test_drive_and_sample(self):
+        wire = Wire("w")
+        wire.drive(0x41)
+        assert wire.sample() == 0x41
+        wire.end_cycle()
+        assert wire.sample() is None
+
+    def test_start_bit(self):
+        wire = Wire("w")
+        wire.drive(START)
+        assert wire.sample() is START
+
+    def test_double_drive_rejected(self):
+        wire = Wire("w")
+        wire.drive(1)
+        with pytest.raises(ProtocolError):
+            wire.drive(2)
+
+    def test_non_byte_rejected(self):
+        with pytest.raises(ProtocolError):
+            Wire("w").drive(256)
+        with pytest.raises(ProtocolError):
+            Wire("w").drive("x")
+
+    def test_driving_none_is_noop(self):
+        wire = Wire("w")
+        wire.drive(None)
+        wire.drive(5)  # legal: None did not count as a driver
+        assert wire.sample() == 5
+
+    def test_link_bundles_stop(self):
+        link = Link("l")
+        link.stop = True
+        link.data.drive(7)
+        link.end_cycle()
+        assert link.stop is True  # stop is a level, survives the cycle
+        assert link.data.sample() is None
+
+
+class TestSynchronizer:
+    def test_one_cycle_delay(self):
+        sync = Synchronizer()
+        assert sync.tick(10) is None
+        assert sync.tick(20) == 10
+        assert sync.tick(None) == 20
+        assert sync.tick(None) is None
+
+    def test_flush(self):
+        sync = Synchronizer()
+        sync.tick(9)
+        sync.flush()
+        assert sync.tick(None) is None
+
+
+def make_buffer(num_slots=12, port_id=0):
+    return DamqBufferHw(num_slots=num_slots, num_ports=5, port_id=port_id)
+
+
+class TestDamqBufferHw:
+    def test_begin_packet_claims_free_head(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(destination=1, new_header=0x10)
+        assert packet.slots == [0]
+        assert buffer.header_register[0] == 0x10
+        assert buffer.queue_length(1) == 1
+        assert buffer.free_count == 11
+
+    def test_own_port_destination_rejected(self):
+        buffer = make_buffer(port_id=2)
+        with pytest.raises(ProtocolError):
+            buffer.begin_packet(destination=2, new_header=0)
+
+    def test_set_length_loads_register(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        buffer.set_length(packet, 20)
+        assert buffer.length_register[0] == 20
+        assert packet.length_known
+        with pytest.raises(ProtocolError):
+            buffer.set_length(packet, 20)
+
+    def test_illegal_length_rejected(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        with pytest.raises(ProtocolError):
+            buffer.set_length(packet, 0)
+        with pytest.raises(ProtocolError):
+            buffer.set_length(packet, 33)
+
+    def test_write_allocates_continuation_slots(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        buffer.set_length(packet, 20)
+        for i in range(20):
+            buffer.write_byte(packet, i)
+        assert len(packet.slots) == 3  # ceil(20/8)
+        assert packet.fully_written
+        assert buffer.occupancy == 3
+
+    def test_write_before_length_rejected(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        with pytest.raises(ProtocolError):
+            buffer.write_byte(packet, 1)
+
+    def test_write_past_length_rejected(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        buffer.set_length(packet, 1)
+        buffer.write_byte(packet, 1)
+        with pytest.raises(ProtocolError):
+            buffer.write_byte(packet, 2)
+
+    def test_read_returns_written_bytes_in_order(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        payload = list(range(17))
+        buffer.set_length(packet, len(payload))
+        for byte in payload:
+            buffer.write_byte(packet, byte)
+        read_back = [buffer.read_byte(packet) for _ in payload]
+        assert read_back == payload
+        buffer.finish_packet(packet)
+        assert buffer.free_count == 12
+        buffer.check_invariants()
+
+    def test_read_cannot_outrun_write(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        buffer.set_length(packet, 4)
+        buffer.write_byte(packet, 1)
+        assert buffer.read_byte(packet) == 1
+        with pytest.raises(ProtocolError):
+            buffer.read_byte(packet)
+
+    def test_slots_recycle_while_packet_still_arriving(self):
+        """Cut-through: head slots return to the free list mid-packet."""
+        buffer = make_buffer(num_slots=4)
+        packet = buffer.begin_packet(1, 0)
+        buffer.set_length(packet, 32)
+        for i in range(SLOT_BYTES * 2):  # two slots written
+            buffer.write_byte(packet, i)
+        for _ in range(SLOT_BYTES):  # first slot fully read
+            buffer.read_byte(packet)
+        assert packet.slots_released == 1
+        # The freed slot is available again even though the packet is
+        # still being received.
+        assert buffer.free_count == 4 - 2 + 1
+
+    def test_transmittable_requires_length(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(3, 0)
+        assert not buffer.transmittable(3)
+        buffer.set_length(packet, 2)
+        assert buffer.transmittable(3)
+        buffer.reader_active = True
+        assert not buffer.transmittable(3)
+
+    def test_finish_requires_fully_read(self):
+        buffer = make_buffer()
+        packet = buffer.begin_packet(1, 0)
+        buffer.set_length(packet, 2)
+        buffer.write_byte(packet, 1)
+        buffer.write_byte(packet, 2)
+        with pytest.raises(ProtocolError):
+            buffer.finish_packet(packet)
+
+    def test_reading_non_head_packet_rejected(self):
+        """Draining a packet that is not at its queue head is a protocol
+        violation (the linked list would be corrupted)."""
+        buffer = make_buffer()
+        first = buffer.begin_packet(1, 0)
+        second = buffer.begin_packet(1, 1)
+        for packet in (first, second):
+            buffer.set_length(packet, 1)
+            buffer.write_byte(packet, 9)
+        with pytest.raises(ProtocolError):
+            buffer.read_byte(second)  # first is still at the head
+
+    def test_finish_out_of_order_rejected(self):
+        buffer = make_buffer()
+        first = buffer.begin_packet(1, 0)
+        second = buffer.begin_packet(1, 1)
+        for packet in (first, second):
+            buffer.set_length(packet, 1)
+            buffer.write_byte(packet, 9)
+        buffer.read_byte(first)
+        # Claim 'second' finished although 'first' heads the queue.
+        second.bytes_read = 1
+        with pytest.raises(BufferEmptyError):
+            buffer.finish_packet(second)
+
+    def test_too_small_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DamqBufferHw(num_slots=2, num_ports=5, port_id=0)
+
+
+class TestCircuitRouter:
+    def test_program_and_lookup(self):
+        router = CircuitRouter(port_id=0, num_ports=5)
+        router.program(header=3, output_port=2, new_header=9)
+        entry = router.lookup(3)
+        assert (entry.output_port, entry.new_header) == (2, 9)
+
+    def test_missing_circuit_raises(self):
+        router = CircuitRouter(0, 5)
+        with pytest.raises(RoutingError):
+            router.lookup(7)
+
+    def test_turnaround_route_rejected(self):
+        router = CircuitRouter(port_id=1, num_ports=5)
+        with pytest.raises(ConfigurationError):
+            router.program(header=0, output_port=1, new_header=0)
+
+    def test_duplicate_header_rejected(self):
+        router = CircuitRouter(0, 5)
+        router.program(0, 2, 0)
+        with pytest.raises(ConfigurationError):
+            router.program(0, 3, 1)
+
+    def test_free_header_skips_used(self):
+        router = CircuitRouter(0, 5)
+        assert router.free_header() == 0
+        router.program(0, 2, 0)
+        router.program(1, 2, 0)
+        assert router.free_header() == 2
+
+    def test_clear_releases_header(self):
+        router = CircuitRouter(0, 5)
+        router.program(0, 2, 0)
+        router.clear(0)
+        assert router.free_header() == 0
+        assert router.circuit_count == 0
+
+    def test_header_byte_range(self):
+        router = CircuitRouter(0, 5)
+        with pytest.raises(ConfigurationError):
+            router.program(256, 2, 0)

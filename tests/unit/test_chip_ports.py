@@ -1,0 +1,180 @@
+"""Unit tests for the chip's input/output port FSMs and the host adapter."""
+
+import pytest
+
+from repro.chip.comcobb import ComCoBBChip
+from repro.chip.host import HostAdapter
+from repro.chip.input_port import InputPort
+from repro.chip.output_port import OutputPort
+from repro.chip.router import CircuitRouter
+from repro.chip.slots import DamqBufferHw
+from repro.chip.wires import START, Link
+from repro.errors import ProtocolError
+
+
+def make_input_port(stop_threshold=7):
+    buffer = DamqBufferHw(12, 5, port_id=0)
+    router = CircuitRouter(0, 5)
+    router.program(header=1, output_port=2, new_header=9)
+    port = InputPort(0, "chip", buffer, router, stop_threshold)
+    link = Link("in")
+    port.attach(link)
+    return port, link, buffer
+
+
+def feed(port, link, symbols):
+    """Drive a symbol sequence, one per cycle, sampling each cycle."""
+    cycle = 0
+    for symbol in symbols:
+        link.data.drive(symbol)
+        port.sample(cycle)
+        link.end_cycle()
+        cycle += 1
+    # Two idle cycles flush the synchronizer.
+    for _ in range(2):
+        port.sample(cycle)
+        cycle += 1
+
+
+class TestInputPortFsm:
+    def test_full_packet_reception(self):
+        port, link, buffer = make_input_port()
+        feed(port, link, [START, 1, 3, 0xAA, 0xBB, 0xCC])
+        assert port.packets_received == 1
+        packet = buffer.head_packet(2)
+        assert packet is not None
+        assert packet.new_header == 9
+        assert packet.length == 3
+        assert packet.fully_written
+
+    def test_back_to_back_packets(self):
+        port, link, buffer = make_input_port()
+        feed(port, link, [START, 1, 1, 0x11, START, 1, 2, 0x22, 0x33])
+        assert port.packets_received == 2
+        assert buffer.queue_length(2) == 2
+
+    def test_start_bit_mid_packet_rejected(self):
+        port, link, buffer = make_input_port()
+        with pytest.raises(ProtocolError):
+            feed(port, link, [START, 1, 4, 0x11, START])
+
+    def test_stray_byte_while_idle_rejected(self):
+        port, link, _buffer = make_input_port()
+        with pytest.raises(ProtocolError):
+            feed(port, link, [0x55])
+
+    def test_flow_control_threshold(self):
+        port, link, buffer = make_input_port(stop_threshold=11)
+        port.update_flow_control()
+        assert link.stop is False  # 12 free >= 11
+        feed(port, link, [START, 1, 10] + list(range(10)))  # uses 2 slots
+        port.update_flow_control()
+        assert link.stop is True  # 10 free < 11
+
+    def test_idle_cycles_are_harmless(self):
+        port, link, buffer = make_input_port()
+        for cycle in range(5):
+            port.sample(cycle)
+        feed(port, link, [START, 1, 1, 0x77])
+        assert port.packets_received == 1
+
+
+class TestOutputPortProtocol:
+    def test_grant_while_busy_rejected(self):
+        buffer = DamqBufferHw(12, 5, port_id=0)
+        packet = buffer.begin_packet(2, new_header=5)
+        buffer.set_length(packet, 1)
+        buffer.write_byte(packet, 0x42)
+        port = OutputPort(2, "chip")
+        port.attach(Link("out"))
+        port.grant(buffer, packet, cycle=0)
+        with pytest.raises(ProtocolError):
+            port.grant(buffer, packet, cycle=1)
+
+    def test_grant_on_buffer_with_active_reader_rejected(self):
+        buffer = DamqBufferHw(12, 5, port_id=0)
+        first = buffer.begin_packet(2, new_header=5)
+        buffer.set_length(first, 1)
+        buffer.write_byte(first, 1)
+        second = buffer.begin_packet(3, new_header=6)
+        buffer.set_length(second, 1)
+        buffer.write_byte(second, 2)
+        port_a = OutputPort(2, "chip")
+        port_b = OutputPort(3, "chip")
+        port_a.attach(Link("a"))
+        port_b.attach(Link("b"))
+        port_a.grant(buffer, first, cycle=0)
+        with pytest.raises(ProtocolError):
+            port_b.grant(buffer, second, cycle=0)
+
+    def test_transmit_sequence_on_wire(self):
+        buffer = DamqBufferHw(12, 5, port_id=0)
+        packet = buffer.begin_packet(2, new_header=5)
+        buffer.set_length(packet, 2)
+        buffer.write_byte(packet, 0xDE)
+        buffer.write_byte(packet, 0xAD)
+        port = OutputPort(2, "chip")
+        link = Link("out")
+        port.attach(link)
+        port.grant(buffer, packet, cycle=0)
+        observed = []
+        for cycle in range(1, 7):
+            port.drive(cycle)
+            observed.append(link.data.sample())
+            link.end_cycle()
+            port.latch(cycle)
+        assert observed[0] is START
+        assert observed[1:5] == [5, 2, 0xDE, 0xAD]
+        assert not port.busy
+        assert buffer.total_packets() == 0
+
+
+class TestHostAdapter:
+    def test_injection_respects_stop(self):
+        chip = ComCoBBChip("c")
+        host = HostAdapter(chip)
+        host.send_message(0, b"xy")
+        host.inject_link.stop = True
+        host.drive(0)
+        assert host.inject_link.data.sample() is None  # held at boundary
+        host.inject_link.stop = False
+        host.drive(1)
+        assert host.inject_link.data.sample() is START
+
+    def test_mid_packet_symbols_ignore_stop(self):
+        chip = ComCoBBChip("c")
+        host = HostAdapter(chip)
+        host.send_message(0, b"z")
+        host.drive(0)  # START out
+        host.end_cycle()
+        host.inject_link.stop = True
+        host.drive(1)  # header must still flow
+        assert host.inject_link.data.sample() is not None
+
+    def test_receive_parses_wire_format(self):
+        chip = ComCoBBChip("c")
+        host = HostAdapter(chip)
+        # Simulate the PI output port driving a complete 1-packet message:
+        # framed payload = length prefix (2 bytes) + b"ab".
+        symbols = [START, 7, 4, 2, 0, ord("a"), ord("b")]
+        for cycle, symbol in enumerate(symbols):
+            host.deliver_link.data.drive(symbol)
+            host.sample(cycle)
+            host.deliver_link.end_cycle()
+        assert len(host.received_messages) == 1
+        message = host.received_messages[0]
+        assert message.payload == b"ab"
+        assert message.delivery_tag == 7
+
+    def test_interleaved_tags_reassemble_independently(self):
+        chip = ComCoBBChip("c")
+        host = HostAdapter(chip)
+        # Two single-packet messages with different tags, back to back.
+        for tag, byte in ((1, ord("p")), (2, ord("q"))):
+            symbols = [START, tag, 3, 1, 0, byte]
+            for cycle, symbol in enumerate(symbols):
+                host.deliver_link.data.drive(symbol)
+                host.sample(cycle)
+                host.deliver_link.end_cycle()
+        payloads = {m.delivery_tag: m.payload for m in host.received_messages}
+        assert payloads == {1: b"p", 2: b"q"}

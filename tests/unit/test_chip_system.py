@@ -1,0 +1,229 @@
+"""Unit tests for the assembled chip: host adapter, networks, circuits."""
+
+import pytest
+
+from repro.chip import (
+    ChipNetwork,
+    ComCoBBChip,
+    PROCESSOR_PORT,
+    TraceRecorder,
+    packetize,
+)
+from repro.errors import ConfigurationError, RoutingError, SimulationError
+
+
+class TestPacketize:
+    def test_small_message_single_packet(self):
+        chunks = packetize(b"hello")
+        assert len(chunks) == 1
+        assert chunks[0] == b"\x05\x00hello"
+
+    def test_length_prefix_little_endian(self):
+        chunks = packetize(b"a" * 300)
+        assert chunks[0][:2] == (300).to_bytes(2, "little")
+
+    def test_all_chunks_maximal_except_last(self):
+        chunks = packetize(b"b" * 100)  # 102 framed bytes
+        assert [len(chunk) for chunk in chunks] == [32, 32, 32, 6]
+
+    def test_exact_multiple_still_terminates(self):
+        chunks = packetize(b"c" * 62)  # 64 framed bytes
+        assert [len(chunk) for chunk in chunks] == [32, 32]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            packetize(b"")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ConfigurationError):
+            packetize(b"x" * 70000)
+
+
+class TestChipConstruction:
+    def test_five_ports(self):
+        chip = ComCoBBChip("test")
+        assert len(chip.buffers) == 5
+        assert len(chip.input_ports) == 5
+        assert len(chip.output_ports) == 5
+
+    def test_default_twelve_slots(self):
+        chip = ComCoBBChip("test")
+        assert chip.buffers[0].num_slots == 12
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComCoBBChip("test", num_slots=4, stop_threshold=8)
+
+
+class TestNetworkBuilding:
+    def test_connect_validates_ports(self):
+        network = ChipNetwork()
+        network.add_node("A")
+        network.add_node("B")
+        with pytest.raises(ConfigurationError):
+            network.connect("A", PROCESSOR_PORT, "B", 0)
+        with pytest.raises(ConfigurationError):
+            network.connect("A", 0, "C", 0)
+
+    def test_port_reuse_rejected(self):
+        network = ChipNetwork()
+        for name in "ABC":
+            network.add_node(name)
+        network.connect("A", 0, "B", 0)
+        with pytest.raises(ConfigurationError):
+            network.connect("A", 0, "C", 1)
+
+    def test_duplicate_node_rejected(self):
+        network = ChipNetwork()
+        network.add_node("A")
+        with pytest.raises(ConfigurationError):
+            network.add_node("A")
+
+    def test_circuit_requires_adjacency(self):
+        network = ChipNetwork()
+        network.add_node("A")
+        network.add_node("B")
+        with pytest.raises(RoutingError):
+            network.open_circuit(["A", "B"])
+
+    def test_circuit_headers_distinct_per_router(self):
+        network = ChipNetwork()
+        network.add_node("A")
+        network.add_node("B")
+        network.connect("A", 0, "B", 0)
+        first = network.open_circuit(["A", "B"])
+        second = network.open_circuit(["A", "B"])
+        assert first.header != second.header
+        assert first.delivery_tag != second.delivery_tag
+
+
+class TestMessageDelivery:
+    def build_pair(self):
+        network = ChipNetwork()
+        network.add_node("A")
+        network.add_node("B")
+        network.connect("A", 0, "B", 0)
+        return network
+
+    def test_single_byte_message(self):
+        network = self.build_pair()
+        circuit = network.open_circuit(["A", "B"])
+        network.send(circuit, b"\x42")
+        network.run_until_idle()
+        messages = network.nodes["B"].host.received_messages
+        assert len(messages) == 1
+        assert messages[0].payload == b"\x42"
+        assert messages[0].packet_count == 1
+
+    def test_multi_packet_message_reassembled(self):
+        network = self.build_pair()
+        circuit = network.open_circuit(["A", "B"])
+        payload = bytes(range(256)) * 2
+        network.send(circuit, payload)
+        network.run_until_idle()
+        assert network.nodes["B"].host.received_messages[0].payload == payload
+
+    def test_bidirectional_simultaneous(self):
+        network = self.build_pair()
+        to_b = network.open_circuit(["A", "B"])
+        to_a = network.open_circuit(["B", "A"])
+        network.send(to_b, b"ping" * 20)
+        network.send(to_a, b"pong" * 20)
+        network.run_until_idle()
+        assert network.nodes["B"].host.received_messages[0].payload == b"ping" * 20
+        assert network.nodes["A"].host.received_messages[0].payload == b"pong" * 20
+
+    def test_multi_hop_delivery(self):
+        network = ChipNetwork()
+        for name in "ABC":
+            network.add_node(name)
+        network.connect("A", 0, "B", 0)
+        network.connect("B", 1, "C", 0)
+        circuit = network.open_circuit(["A", "B", "C"])
+        network.send(circuit, b"through the middle")
+        network.run_until_idle()
+        assert (
+            network.nodes["C"].host.received_messages[0].payload
+            == b"through the middle"
+        )
+        assert not network.nodes["B"].host.received_messages
+
+    def test_two_circuits_interleaved_to_same_destination(self):
+        network = self.build_pair()
+        first = network.open_circuit(["A", "B"])
+        second = network.open_circuit(["A", "B"])
+        network.send(first, b"first message payload " * 4)
+        network.send(second, b"second payload " * 4)
+        network.run_until_idle()
+        received = {
+            message.delivery_tag: message.payload
+            for message in network.nodes["B"].host.received_messages
+        }
+        assert received[first.delivery_tag] == b"first message payload " * 4
+        assert received[second.delivery_tag] == b"second payload " * 4
+
+    def test_messages_on_one_circuit_arrive_in_order(self):
+        network = self.build_pair()
+        circuit = network.open_circuit(["A", "B"])
+        for index in range(5):
+            network.send(circuit, bytes([index]) * 10)
+        network.run_until_idle()
+        payloads = [
+            message.payload
+            for message in network.nodes["B"].host.received_messages
+        ]
+        assert payloads == [bytes([i]) * 10 for i in range(5)]
+
+    def test_invariants_after_traffic(self):
+        network = self.build_pair()
+        circuit = network.open_circuit(["A", "B"])
+        network.send(circuit, b"z" * 500)
+        network.run_until_idle()
+        network.check_invariants()
+
+    def test_run_until_idle_bounded(self):
+        network = self.build_pair()
+        with pytest.raises(SimulationError):
+            # An absurdly small bound on an active network must raise.
+            circuit = network.open_circuit(["A", "B"])
+            network.send(circuit, b"x" * 2000)
+            network.run_until_idle(max_cycles=3)
+
+
+class TestCutThroughTiming:
+    def test_turnaround_is_four_cycles_on_idle_port(self):
+        trace = TraceRecorder()
+        network = ChipNetwork(trace=trace)
+        network.add_node("A")
+        network.add_node("B")
+        network.connect("A", 0, "B", 0)
+        circuit = network.open_circuit(["A", "B"])
+        network.send(circuit, b"q")
+        network.run_until_idle()
+        turnarounds = [
+            int(event.action.split("turnaround ")[1].split()[0])
+            for event in trace.filter(contains="turnaround")
+        ]
+        assert turnarounds  # at least A's PI->out0 and B's in0->PI
+        assert all(value == 4 for value in turnarounds)
+
+    def test_per_hop_pipeline_latency(self):
+        """Across a chain, each hop adds exactly 4 cycles when idle."""
+        network = ChipNetwork()
+        names = ["N0", "N1", "N2", "N3"]
+        for name in names:
+            network.add_node(name)
+        for left, right in zip(names[:-1], names[1:]):
+            network.connect(left, 0 if left == "N0" else 1, right, 0)
+        short = network.open_circuit(["N0", "N1"])
+        network.send(short, b"a")
+        network.run_until_idle()
+        short_cycle = network.nodes["N1"].host.received_messages[0].completed_cycle
+        start_cycle = network.cycle
+
+        long = network.open_circuit(["N0", "N1", "N2", "N3"])
+        network.send(long, b"a")
+        network.run_until_idle()
+        long_cycle = network.nodes["N3"].host.received_messages[0].completed_cycle
+        # Two more hops -> exactly 8 more cycles of pipeline latency.
+        assert (long_cycle - start_cycle) - short_cycle == 8

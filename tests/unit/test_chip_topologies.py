@@ -1,0 +1,139 @@
+"""Unit tests for the multicomputer topology builders and path routing."""
+
+import pytest
+
+from repro.chip import (
+    ChipNetwork,
+    TopologyBuilder,
+    build_chain,
+    build_complete,
+    build_mesh,
+    build_ring,
+    build_star,
+    open_shortest_circuit,
+    shortest_path,
+)
+from repro.errors import ConfigurationError, RoutingError
+
+
+class TestTopologyBuilder:
+    def test_ports_allocated_in_order(self):
+        network = ChipNetwork()
+        builder = TopologyBuilder(network)
+        for name in "abc":
+            builder.add_node(name)
+        assert builder.connect("a", "b") == (0, 0)
+        assert builder.connect("a", "c") == (1, 0)
+
+    def test_port_exhaustion(self):
+        network = ChipNetwork()
+        builder = TopologyBuilder(network)
+        builder.add_node("hub")
+        for index in range(4):
+            builder.add_node(f"leaf{index}")
+            builder.connect("hub", f"leaf{index}")
+        builder.add_node("extra")
+        with pytest.raises(ConfigurationError):
+            builder.connect("hub", "extra")
+
+    def test_unknown_node(self):
+        builder = TopologyBuilder(ChipNetwork())
+        with pytest.raises(ConfigurationError):
+            builder.connect("x", "y")
+
+
+class TestBuilders:
+    def test_chain_structure(self):
+        network, names = build_chain(4)
+        assert len(names) == 4
+        assert shortest_path(network, names[0], names[3]) == names
+
+    def test_ring_wraps_around(self):
+        network, names = build_ring(5)
+        # Shortest path from node0 to node4 goes backwards (1 hop).
+        assert shortest_path(network, names[0], names[4]) == [names[0], names[4]]
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            build_ring(2)
+
+    def test_star_routes_through_hub(self):
+        network, names = build_star(4)
+        hub, leaves = names[0], names[1:]
+        path = shortest_path(network, leaves[0], leaves[3])
+        assert path == [leaves[0], hub, leaves[3]]
+
+    def test_star_leaf_limit(self):
+        with pytest.raises(ConfigurationError):
+            build_star(5)
+
+    def test_mesh_dimensions_and_interior_degree(self):
+        network, names = build_mesh(3, 3)
+        assert len(names) == 9
+        # Interior node of a 3x3 mesh has all four ports wired.
+        wired = [key for key in network._adjacency if key[0] == "node_1_1"]
+        assert len(wired) == 4
+
+    def test_mesh_manhattan_distance(self):
+        network, names = build_mesh(3, 4)
+        path = shortest_path(network, "node_0_0", "node_2_3")
+        assert len(path) == 6  # 5 hops = manhattan distance
+
+    def test_complete_all_adjacent(self):
+        network, names = build_complete(5)
+        for index, left in enumerate(names):
+            for right in names[index + 1 :]:
+                assert shortest_path(network, left, right) == [left, right]
+
+    def test_complete_size_limit(self):
+        with pytest.raises(ConfigurationError):
+            build_complete(6)
+
+
+class TestShortestPath:
+    def test_no_path(self):
+        network = ChipNetwork()
+        network.add_node("a")
+        network.add_node("b")
+        with pytest.raises(RoutingError):
+            shortest_path(network, "a", "b")
+
+    def test_same_node_rejected(self):
+        network, names = build_chain(2)
+        with pytest.raises(ConfigurationError):
+            shortest_path(network, names[0], names[0])
+
+    def test_unknown_node_rejected(self):
+        network, names = build_chain(2)
+        with pytest.raises(ConfigurationError):
+            shortest_path(network, names[0], "ghost")
+
+
+class TestEndToEnd:
+    def test_message_across_mesh(self):
+        network, names = build_mesh(2, 2)
+        circuit = open_shortest_circuit(network, names[0], names[3])
+        network.send(circuit, b"mesh delivery")
+        network.run_until_idle()
+        received = network.nodes[names[3]].host.received_messages
+        assert received[0].payload == b"mesh delivery"
+
+    def test_all_pairs_on_star(self):
+        network, names = build_star(3)
+        circuits = {}
+        for source in names:
+            for destination in names:
+                if source != destination:
+                    circuits[(source, destination)] = open_shortest_circuit(
+                        network, source, destination
+                    )
+        for (source, destination), circuit in circuits.items():
+            network.send(circuit, f"{source}->{destination}".encode())
+        network.run_until_idle()
+        for (source, destination), circuit in circuits.items():
+            payloads = [
+                message.payload
+                for message in network.nodes[destination].host.received_messages
+                if message.delivery_tag == circuit.delivery_tag
+            ]
+            assert payloads == [f"{source}->{destination}".encode()]

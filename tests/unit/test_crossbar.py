@@ -1,0 +1,74 @@
+"""Unit tests for the crossbar connection-state model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.switch.crossbar import Crossbar
+
+
+class TestPlainCrossbar:
+    def test_connect_and_query(self):
+        crossbar = Crossbar(4, 4)
+        crossbar.connect(1, 3)
+        assert crossbar.source(3) == 1
+        assert crossbar.connections() == [(1, 3)]
+        assert not crossbar.is_output_free(3)
+        assert crossbar.is_output_free(0)
+
+    def test_output_conflict_rejected(self):
+        crossbar = Crossbar(4, 4)
+        crossbar.connect(0, 2)
+        with pytest.raises(ProtocolError):
+            crossbar.connect(1, 2)
+
+    def test_input_fanout_limited_to_one(self):
+        crossbar = Crossbar(4, 4)
+        crossbar.connect(0, 1)
+        with pytest.raises(ProtocolError):
+            crossbar.connect(0, 2)
+
+    def test_full_permutation_is_legal(self):
+        crossbar = Crossbar(4, 4)
+        for port in range(4):
+            crossbar.connect(port, (port + 1) % 4)
+        assert len(crossbar.connections()) == 4
+
+    def test_reset_clears_connections(self):
+        crossbar = Crossbar(2, 2)
+        crossbar.connect(0, 0)
+        crossbar.reset()
+        assert crossbar.connections() == []
+        crossbar.connect(1, 0)  # no conflict after reset
+
+    def test_range_validation(self):
+        crossbar = Crossbar(2, 2)
+        with pytest.raises(ConfigurationError):
+            crossbar.connect(2, 0)
+        with pytest.raises(ConfigurationError):
+            crossbar.connect(0, 5)
+        with pytest.raises(ConfigurationError):
+            Crossbar(0, 2)
+
+
+class TestSafcFabric:
+    """SAFC's four 4x1 switches = fan-out up to num_outputs per input."""
+
+    def test_input_may_drive_multiple_outputs(self):
+        fabric = Crossbar(4, 4, max_fanout=4)
+        fabric.connect(0, 0)
+        fabric.connect(0, 1)
+        fabric.connect(0, 2)
+        assert fabric.fanout(0) == 3
+
+    def test_fanout_limit_still_enforced(self):
+        fabric = Crossbar(2, 2, max_fanout=2)
+        fabric.connect(0, 0)
+        fabric.connect(0, 1)
+        with pytest.raises(ProtocolError):
+            fabric.connect(0, 1)  # output taken anyway
+
+    def test_outputs_still_single_sourced(self):
+        fabric = Crossbar(4, 4, max_fanout=4)
+        fabric.connect(0, 3)
+        with pytest.raises(ProtocolError):
+            fabric.connect(1, 3)

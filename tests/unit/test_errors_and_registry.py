@@ -1,0 +1,77 @@
+"""Unit tests for the exception hierarchy and the buffer registry."""
+
+import pytest
+
+from repro.core.registry import (
+    BUFFER_TYPES,
+    PAPER_ORDER,
+    buffer_class,
+    make_buffer,
+    make_buffer_factory,
+)
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            BufferEmptyError,
+            BufferFullError,
+            ConfigurationError,
+            ProtocolError,
+            RoutingError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catching_base_catches_everything(self):
+        caught = []
+        for exc in (BufferFullError, RoutingError, ProtocolError):
+            try:
+                raise exc("x")
+            except ReproError as error:
+                caught.append(type(error))
+        assert caught == [BufferFullError, RoutingError, ProtocolError]
+
+
+class TestRegistry:
+    def test_paper_order_covers_all_types(self):
+        assert set(PAPER_ORDER) == set(BUFFER_TYPES)
+
+    def test_lookup_case_insensitive(self):
+        assert buffer_class("damq").kind == "DAMQ"
+        assert buffer_class("Fifo").kind == "FIFO"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            buffer_class("VOQ")
+
+    @pytest.mark.parametrize("kind", sorted(BUFFER_TYPES))
+    def test_make_buffer_constructs_each(self, kind):
+        buffer = make_buffer(kind, capacity=4, num_outputs=4)
+        assert buffer.kind == kind
+        assert buffer.capacity == 4
+
+    def test_factory_binds_capacity(self):
+        factory = make_buffer_factory("SAMQ", capacity=8)
+        buffer = factory(4)
+        assert buffer.capacity == 8
+        assert buffer.num_outputs == 4
+
+    def test_factory_rejects_bad_combo_late(self):
+        factory = make_buffer_factory("SAMQ", capacity=5)
+        with pytest.raises(ConfigurationError):
+            factory(4)  # 5 not divisible by 4

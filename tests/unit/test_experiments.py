@@ -1,0 +1,129 @@
+"""Unit tests for the experiment harness (fast experiments only; the
+simulation-heavy tables are covered by the integration tests and
+benchmarks)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import figure1, figure3, table1, table2
+from repro.experiments.report import ExperimentResult, sim_cycles
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.utils.tables import TextTable
+
+
+class TestReport:
+    def test_render_contains_tables_and_notes(self):
+        result = ExperimentResult(
+            experiment_id="x", title="Title", paper_reference="Table 9"
+        )
+        table = TextTable("T", ["a"])
+        table.add_row([1])
+        result.tables.append(table)
+        result.notes.append("a note")
+        rendered = result.render()
+        assert "Title" in rendered
+        assert "Table 9" in rendered
+        assert "a note" in rendered
+
+    def test_sim_cycles_quick_shorter(self):
+        quick_warmup, quick_measure = sim_cycles(True)
+        full_warmup, full_measure = sim_cycles(False)
+        assert quick_warmup < full_warmup
+        assert quick_measure < full_measure
+
+
+class TestRunnerRegistry:
+    def test_all_paper_artifacts_registered(self):
+        from repro.experiments.runner import PAPER_EXPERIMENTS
+
+        assert set(PAPER_EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure1",
+            "figure3",
+        }
+
+    def test_extensions_registered(self):
+        assert {
+            "ext-varlen",
+            "ext-slotsize",
+            "ext-validation",
+            "ext-radix",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("table9")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("TABLE1")
+        assert result.experiment_id == "table1"
+
+
+class TestTable1:
+    def test_turnaround_is_exactly_four(self):
+        result = table1.run()
+        assert result.data["turnaround"] == 4
+
+    def test_trace_table_rows_present(self):
+        result = table1.run()
+        trace_table = result.tables[0]
+        actions = " ".join(" ".join(row) for row in trace_table.rows)
+        assert "start bit detected" in actions
+        assert "routed to output" in actions
+        assert "start bit driven" in actions
+
+
+class TestTable2:
+    def test_quick_run_has_all_architectures(self):
+        result = table2.run(quick=True)
+        kinds = {kind for kind, _slots in result.data["discard"]}
+        assert kinds == {"FIFO", "DAMQ", "SAMQ", "SAFC"}
+
+    def test_rows_monotone_in_traffic(self):
+        result = table2.run(quick=True)
+        for probabilities in result.data["discard"].values():
+            assert list(probabilities) == sorted(probabilities)
+
+    def test_zero_plus_formatting_in_table(self):
+        result = table2.run(quick=True)
+        rendered = result.tables[0].render()
+        assert "0+" in rendered
+
+
+class TestFigure1:
+    def test_structural_facts(self):
+        result = figure1.run()
+        facts = result.data["facts"]
+        assert facts["FIFO"]["reads_per_cycle"] == 1
+        assert facts["SAFC"]["reads_per_cycle"] == 4
+        assert facts["FIFO"]["slots_usable_by_one_destination"] == 4
+        assert facts["SAMQ"]["slots_usable_by_one_destination"] == 1
+        assert facts["DAMQ"]["slots_usable_by_one_destination"] == 4
+        assert facts["SAMQ"]["statically_partitioned"] is True
+        assert facts["DAMQ"]["statically_partitioned"] is False
+
+    def test_diagrams_included(self):
+        result = figure1.run()
+        assert any("crossbar" in note for note in result.notes)
+
+
+class TestFigure3Plot:
+    def test_ascii_plot_renders_marks(self):
+        from repro.network.saturation import CurvePoint
+
+        curves = {
+            "FIFO": [CurvePoint(0.2, 0.2, 40.0), CurvePoint(0.5, 0.5, 160.0)],
+            "DAMQ": [CurvePoint(0.2, 0.2, 40.0), CurvePoint(0.7, 0.7, 100.0)],
+        }
+        plot = figure3.ascii_plot(curves)
+        assert "F" in plot
+        assert "D" in plot
+        assert "delivered throughput" in plot
+
+    def test_ascii_plot_empty(self):
+        assert figure3.ascii_plot({}) == "(no data)"

@@ -1,0 +1,51 @@
+"""Unit tests for the CSV export of experiment tables."""
+
+import csv
+
+from repro.experiments.export import export_result, export_table, slugify
+from repro.experiments.report import ExperimentResult
+from repro.utils.tables import TextTable
+
+
+def make_table(title="My Table: results (50%)"):
+    table = TextTable(title, ["name", "value"])
+    table.add_row(["alpha", 1])
+    table.add_row(["beta", 2.5])
+    return table
+
+
+class TestSlugify:
+    def test_lowercases_and_strips_punctuation(self):
+        assert slugify("My Table: results (50%)") == "my-table-results-50"
+
+    def test_never_empty(self):
+        assert slugify("!!!") == "table"
+
+    def test_truncates_long_titles(self):
+        assert len(slugify("x" * 200)) <= 60
+
+
+class TestExportTable:
+    def test_round_trip(self, tmp_path):
+        path = export_table(make_table(), tmp_path / "out.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["name", "value"], ["alpha", "1"], ["beta", "2.5"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = export_table(make_table(), tmp_path / "a" / "b" / "out.csv")
+        assert path.exists()
+
+
+class TestExportResult:
+    def test_one_file_per_table(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="table9", title="T", paper_reference="T9"
+        )
+        result.tables.append(make_table("first"))
+        result.tables.append(make_table("second"))
+        written = export_result(result, tmp_path)
+        assert len(written) == 2
+        assert written[0].name == "table9_0_first.csv"
+        assert written[1].name == "table9_1_second.csv"
+        assert all(path.exists() for path in written)

@@ -1,0 +1,171 @@
+"""Unit tests for the hardware-faithful slot linked-list manager."""
+
+import pytest
+
+from repro.core.linkedlist import NO_SLOT, SlotListManager
+from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+
+
+class TestConstruction:
+    def test_initial_free_list_chains_every_slot(self):
+        manager = SlotListManager(num_slots=6, num_lists=3)
+        assert manager.free_count == 6
+        assert manager.free_slots() == [0, 1, 2, 3, 4, 5]
+
+    def test_initial_lists_are_empty(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        assert manager.length(0) == 0
+        assert manager.length(1) == 0
+        assert manager.occupancy() == 0
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ConfigurationError):
+            SlotListManager(num_slots=0, num_lists=1)
+
+    def test_rejects_zero_lists(self):
+        with pytest.raises(ConfigurationError):
+            SlotListManager(num_slots=4, num_lists=0)
+
+
+class TestAllocate:
+    def test_allocate_takes_free_head(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        assert manager.allocate(0) == 0
+        assert manager.allocate(0) == 1
+        assert manager.free_count == 2
+
+    def test_allocate_appends_to_list_tail(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(1)
+        manager.allocate(1)
+        assert manager.slots(1) == [0, 1]
+        assert manager.head(1) == 0
+        assert manager.tail(1) == 1
+
+    def test_allocate_exhausted_raises(self):
+        manager = SlotListManager(num_slots=2, num_lists=1)
+        manager.allocate(0)
+        manager.allocate(0)
+        with pytest.raises(BufferFullError):
+            manager.allocate(0)
+
+    def test_allocate_interleaves_lists(self):
+        manager = SlotListManager(num_slots=6, num_lists=2)
+        manager.allocate(0)  # slot 0
+        manager.allocate(1)  # slot 1
+        manager.allocate(0)  # slot 2
+        assert manager.slots(0) == [0, 2]
+        assert manager.slots(1) == [1]
+
+    def test_pointer_registers_chain_the_list(self):
+        manager = SlotListManager(num_slots=4, num_lists=1)
+        manager.allocate(0)
+        manager.allocate(0)
+        manager.allocate(0)
+        assert manager.next_slot(0) == 1
+        assert manager.next_slot(1) == 2
+        assert manager.next_slot(2) == NO_SLOT
+
+
+class TestRelease:
+    def test_release_returns_head_slot(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(0)
+        manager.allocate(0)
+        assert manager.release_head(0) == 0
+        assert manager.slots(0) == [1]
+
+    def test_release_recycles_to_free_tail(self):
+        manager = SlotListManager(num_slots=3, num_lists=1)
+        manager.allocate(0)  # slot 0; free = [1, 2]
+        manager.release_head(0)
+        assert manager.free_slots() == [1, 2, 0]
+
+    def test_release_empty_raises(self):
+        manager = SlotListManager(num_slots=2, num_lists=1)
+        with pytest.raises(BufferEmptyError):
+            manager.release_head(0)
+
+    def test_full_cycle_returns_all_slots(self):
+        manager = SlotListManager(num_slots=3, num_lists=2)
+        for _ in range(3):
+            manager.allocate(1)
+        for _ in range(3):
+            manager.release_head(1)
+        assert manager.free_count == 3
+        assert manager.occupancy() == 0
+
+    def test_fifo_order_within_list(self):
+        manager = SlotListManager(num_slots=5, num_lists=1)
+        allocated = [manager.allocate(0) for _ in range(5)]
+        released = [manager.release_head(0) for _ in range(5)]
+        assert released == allocated
+
+
+class TestCutThroughHeadRegister:
+    """Empty lists point at the free head — the cut-through enabler."""
+
+    def test_empty_list_head_is_free_head(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        assert manager.head(0) == 0
+        manager.allocate(1)  # consumes slot 0
+        assert manager.head(0) == 1  # free head moved
+
+    def test_allocation_lands_on_predicted_slot(self):
+        """The slot a cut-through would stream into is the one allocated."""
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        predicted = manager.head(0)
+        assert manager.allocate(0) == predicted
+
+    def test_empty_list_with_no_free_slots(self):
+        manager = SlotListManager(num_slots=1, num_lists=2)
+        manager.allocate(0)
+        assert manager.head(1) == NO_SLOT
+        assert manager.peek_free() == NO_SLOT
+
+    def test_nonempty_list_head_unaffected_by_free_list(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(0)
+        manager.allocate(1)
+        assert manager.head(0) == 0
+
+
+class TestValidation:
+    def test_invariants_hold_through_mixed_operations(self):
+        manager = SlotListManager(num_slots=8, num_lists=3)
+        script = [
+            ("alloc", 0), ("alloc", 1), ("alloc", 0), ("rel", 0),
+            ("alloc", 2), ("alloc", 2), ("rel", 2), ("alloc", 1),
+            ("rel", 1), ("rel", 0), ("alloc", 0),
+        ]
+        for op, list_id in script:
+            if op == "alloc":
+                manager.allocate(list_id)
+            else:
+                manager.release_head(list_id)
+            manager.check_invariants()
+
+    def test_bad_list_id_rejected(self):
+        manager = SlotListManager(num_slots=2, num_lists=2)
+        with pytest.raises(ConfigurationError):
+            manager.length(2)
+        with pytest.raises(ConfigurationError):
+            manager.allocate(-1)
+
+    def test_bad_slot_id_rejected(self):
+        manager = SlotListManager(num_slots=2, num_lists=1)
+        with pytest.raises(ConfigurationError):
+            manager.next_slot(5)
+
+    def test_length_tracks_operations(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        manager.allocate(0)
+        manager.allocate(0)
+        manager.allocate(1)
+        assert manager.length(0) == 2
+        assert manager.length(1) == 1
+        assert manager.occupancy() == 3
+        assert manager.is_empty(0) is False
+        manager.release_head(0)
+        manager.release_head(0)
+        assert manager.is_empty(0) is True

@@ -1,0 +1,69 @@
+"""Unit tests for the metrics records (Meters / SimulationResult)."""
+
+import math
+
+import pytest
+
+from repro.network.metrics import Meters, SimulationResult
+
+
+def make_result(**meter_values) -> SimulationResult:
+    meters = Meters(num_ports=16)
+    for field_name, value in meter_values.items():
+        setattr(meters, field_name, value)
+    return SimulationResult(
+        buffer_kind="DAMQ",
+        protocol="blocking",
+        arbiter_kind="smart",
+        traffic_kind="uniform",
+        offered_load=0.5,
+        slots_per_buffer=4,
+        warmup_cycles=100,
+        measure_cycles=1000,
+        seed=1,
+        meters=meters,
+    )
+
+
+class TestMeters:
+    def test_throughput_normalization(self):
+        meters = Meters(num_ports=16)
+        meters.cycles = 1000
+        meters.delivered = 8000
+        meters.generated = 8100
+        assert meters.delivered_throughput == pytest.approx(0.5)
+        assert meters.offered_throughput == pytest.approx(8100 / 16000)
+
+    def test_nan_before_any_cycle(self):
+        meters = Meters(num_ports=4)
+        assert math.isnan(meters.delivered_throughput)
+        assert math.isnan(meters.discard_fraction)
+
+    def test_discard_fraction(self):
+        meters = Meters(num_ports=4)
+        meters.generated = 200
+        meters.discarded = 10
+        assert meters.discard_fraction == pytest.approx(0.05)
+
+
+class TestSimulationResult:
+    def test_discard_percent_scales_fraction(self):
+        result = make_result(cycles=100, generated=1000, discarded=25)
+        assert result.discard_percent == pytest.approx(2.5)
+
+    def test_latency_properties_delegate(self):
+        result = make_result(cycles=100)
+        result.meters.latency.add(40.0)
+        result.meters.latency.add(60.0)
+        result.meters.network_latency.add(45.0)
+        assert result.average_latency == pytest.approx(50.0)
+        assert result.average_network_latency == pytest.approx(45.0)
+
+    def test_describe_is_one_line_with_key_fields(self):
+        result = make_result(cycles=100, generated=800, delivered=700)
+        result.meters.latency.add(50.0)
+        text = result.describe()
+        assert "\n" not in text
+        assert "DAMQ" in text
+        assert "blocking" in text
+        assert "offered=0.50" in text

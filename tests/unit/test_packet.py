@@ -1,0 +1,82 @@
+"""Unit tests for the packet and message models."""
+
+import pytest
+
+from repro.core.packet import Message, Packet, PacketFactory
+from repro.errors import ConfigurationError
+
+
+class TestPacket:
+    def test_route_and_hop_accounting(self):
+        packet = Packet(packet_id=1, source=0, destination=9, route=(2, 1, 1))
+        assert packet.hops_remaining == 3
+        assert packet.output_port_at_current_hop() == 2
+        packet.advance_hop()
+        assert packet.output_port_at_current_hop() == 1
+        assert packet.hops_remaining == 2
+
+    def test_output_port_past_route_raises(self):
+        packet = Packet(packet_id=1, source=0, destination=0, route=(3,))
+        packet.advance_hop()
+        with pytest.raises(ConfigurationError):
+            packet.output_port_at_current_hop()
+
+    def test_latency_requires_delivery(self):
+        packet = Packet(packet_id=1, source=0, destination=0, created_at=10)
+        with pytest.raises(ConfigurationError):
+            packet.latency()
+        packet.delivered_at = 55
+        assert packet.latency() == 45
+
+    def test_network_latency_from_injection(self):
+        packet = Packet(packet_id=1, source=0, destination=0, created_at=10)
+        packet.injected_at = 24
+        packet.delivered_at = 60
+        assert packet.network_latency() == 36
+        assert packet.latency() == 50
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            Packet(packet_id=1, source=0, destination=0, size=0)
+
+
+class TestMessage:
+    def test_single_packet_message(self):
+        message = Message(message_id=1, circuit=3, payload=b"x" * 20)
+        assert message.packet_count == 1
+        assert message.packet_payloads() == [b"x" * 20]
+
+    def test_multi_packet_split_only_last_short(self):
+        message = Message(message_id=1, circuit=3, payload=b"y" * 70)
+        chunks = message.packet_payloads()
+        assert [len(chunk) for chunk in chunks] == [32, 32, 6]
+        assert message.packet_count == 3
+
+    def test_exact_multiple_of_packet_size(self):
+        message = Message(message_id=1, circuit=0, payload=b"z" * 64)
+        assert [len(c) for c in message.packet_payloads()] == [32, 32]
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Message(message_id=1, circuit=0, payload=b"")
+
+
+class TestPacketFactory:
+    def test_ids_are_sequential_and_unique(self):
+        factory = PacketFactory()
+        packets = [factory.create(0, 1) for _ in range(5)]
+        assert [p.packet_id for p in packets] == [0, 1, 2, 3, 4]
+
+    def test_two_factories_are_independent(self):
+        a, b = PacketFactory(), PacketFactory()
+        assert a.create(0, 0).packet_id == 0
+        assert b.create(0, 0).packet_id == 0
+
+    def test_create_passes_fields_through(self):
+        factory = PacketFactory()
+        packet = factory.create(3, 17, created_at=99, route=(1, 2), size=2)
+        assert packet.source == 3
+        assert packet.destination == 17
+        assert packet.created_at == 99
+        assert packet.route == (1, 2)
+        assert packet.size == 2

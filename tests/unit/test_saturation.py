@@ -1,0 +1,64 @@
+"""Unit tests for the saturation-measurement helpers (small networks)."""
+
+import pytest
+
+from repro.network import (
+    NetworkConfig,
+    latency_throughput_curve,
+    measure_saturation,
+)
+
+SMALL = NetworkConfig(num_ports=16, radix=4, buffer_kind="DAMQ", seed=21)
+
+
+class TestMeasureSaturation:
+    def test_returns_plateau_at_full_load(self):
+        result = measure_saturation(SMALL, warmup_cycles=100, measure_cycles=400)
+        assert 0.3 < result.saturation_throughput < 1.0
+        assert result.saturated_latency > 24  # two hops minimum
+        assert result.buffer_kind == "DAMQ"
+
+    def test_ignores_configured_offered_load(self):
+        """Saturation measurement always drives at full load."""
+        low = measure_saturation(
+            SMALL.with_overrides(offered_load=0.1),
+            warmup_cycles=100,
+            measure_cycles=400,
+        )
+        high = measure_saturation(
+            SMALL.with_overrides(offered_load=0.9),
+            warmup_cycles=100,
+            measure_cycles=400,
+        )
+        assert low.saturation_throughput == pytest.approx(
+            high.saturation_throughput
+        )
+
+    def test_describe_mentions_key_fields(self):
+        result = measure_saturation(SMALL, warmup_cycles=50, measure_cycles=200)
+        text = result.describe()
+        assert "DAMQ" in text and "saturation" in text
+
+
+class TestLatencyThroughputCurve:
+    def test_curve_is_monotone_in_delivered_throughput(self):
+        points = latency_throughput_curve(
+            SMALL, [0.2, 0.5, 1.0], warmup_cycles=100, measure_cycles=400
+        )
+        delivered = [point.delivered_throughput for point in points]
+        assert delivered == sorted(delivered)
+
+    def test_latency_rises_toward_saturation(self):
+        points = latency_throughput_curve(
+            SMALL, [0.2, 1.0], warmup_cycles=100, measure_cycles=400
+        )
+        assert points[-1].average_latency > points[0].average_latency
+
+    def test_delivered_tracks_offered_below_saturation(self):
+        points = latency_throughput_curve(
+            SMALL, [0.2, 0.3], warmup_cycles=100, measure_cycles=600
+        )
+        for point in points:
+            assert point.delivered_throughput == pytest.approx(
+                point.offered_load, abs=0.05
+            )

@@ -1,0 +1,113 @@
+"""Unit tests for the assembled n×n switch."""
+
+import pytest
+
+from repro.core.registry import make_buffer_factory
+from repro.errors import BufferFullError, ConfigurationError
+from repro.switch.arbiter import make_arbiter
+from repro.switch.flow_control import Protocol
+from repro.switch.switch import Switch
+from tests.conftest import make_packet
+
+
+def build_switch(kind="DAMQ", capacity=4, ports=4, arbiter_kind="smart"):
+    return Switch(
+        switch_id=0,
+        num_inputs=ports,
+        num_outputs=ports,
+        buffer_factory=make_buffer_factory(kind, capacity),
+        arbiter=make_arbiter(arbiter_kind, ports, ports),
+    )
+
+
+def never_blocked(input_port, output_port, packet):
+    return False
+
+
+class TestReceive:
+    def test_receive_stores_and_counts(self):
+        switch = build_switch()
+        switch.receive(0, make_packet(packet_id=1, destination=2), 2)
+        assert switch.occupancy == 1
+        assert switch.packets_received == 1
+
+    def test_receive_full_buffer_propagates(self):
+        switch = build_switch(capacity=4)
+        for i in range(4):
+            switch.receive(0, make_packet(packet_id=i, destination=1), 1)
+        with pytest.raises(BufferFullError):
+            switch.receive(0, make_packet(packet_id=9, destination=1), 1)
+
+    def test_can_accept_delegates_to_buffer(self):
+        switch = build_switch(kind="SAMQ", capacity=4)
+        switch.receive(0, make_packet(packet_id=1, destination=1), 1)
+        assert not switch.can_accept(0, 1)  # SAMQ partition of one full
+        assert switch.can_accept(0, 2)
+
+    def test_invalid_input_rejected(self):
+        switch = build_switch()
+        with pytest.raises(ConfigurationError):
+            switch.receive(7, make_packet(packet_id=1), 0)
+
+
+class TestTransmit:
+    def test_plan_and_execute_round_trip(self):
+        switch = build_switch()
+        packet = make_packet(packet_id=5, destination=3)
+        switch.receive(1, packet, 3)
+        grants = switch.plan_transmissions(never_blocked)
+        assert len(grants) == 1
+        taken = switch.execute(grants[0])
+        assert taken is packet
+        assert switch.occupancy == 0
+        assert switch.packets_forwarded == 1
+
+    def test_crossbar_validates_grants(self):
+        """Every plan is checked against the fabric's legality rules."""
+        switch = build_switch()
+        for input_port in range(4):
+            switch.receive(
+                input_port,
+                make_packet(packet_id=input_port, destination=input_port),
+                input_port,
+            )
+        grants = switch.plan_transmissions(never_blocked)
+        assert len(grants) == 4
+        assert len(switch.crossbar.connections()) == 4
+
+    def test_safc_switch_uses_wide_fabric(self):
+        switch = build_switch(kind="SAFC", capacity=4)
+        assert switch.crossbar.max_fanout == 4
+        switch.receive(0, make_packet(packet_id=1, destination=1), 1)
+        switch.receive(0, make_packet(packet_id=2, destination=2), 2)
+        grants = switch.plan_transmissions(never_blocked)
+        assert len(grants) == 2  # one input feeding two outputs
+
+    def test_mixed_buffer_kinds_rejected(self):
+        calls = iter([make_buffer_factory("FIFO", 4), make_buffer_factory("DAMQ", 4)])
+
+        def flip_factory(num_outputs):
+            return next(calls)(num_outputs)
+
+        with pytest.raises(ConfigurationError):
+            Switch(0, 2, 2, flip_factory, make_arbiter("dumb", 2, 2))
+
+    def test_reset_counters(self):
+        switch = build_switch()
+        switch.receive(0, make_packet(packet_id=1, destination=1), 1)
+        switch.reset_counters()
+        assert switch.packets_received == 0
+        assert switch.packets_forwarded == 0
+
+
+class TestProtocolEnum:
+    def test_from_name(self):
+        assert Protocol.from_name("blocking") is Protocol.BLOCKING
+        assert Protocol.from_name("DISCARDING") is Protocol.DISCARDING
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            Protocol.from_name("dropping")
+
+    def test_str(self):
+        assert str(Protocol.BLOCKING) == "blocking"

@@ -1,0 +1,108 @@
+"""Unit tests for the Omega-network topology and self-routing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.topology import OmegaTopology
+
+
+class TestConstruction:
+    def test_paper_configuration(self):
+        topology = OmegaTopology(num_ports=64, radix=4)
+        assert topology.num_stages == 3
+        assert topology.switches_per_stage == 16
+
+    def test_binary_configuration(self):
+        topology = OmegaTopology(num_ports=8, radix=2)
+        assert topology.num_stages == 3
+        assert topology.switches_per_stage == 4
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OmegaTopology(num_ports=48, radix=4)
+
+    def test_tiny_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OmegaTopology(num_ports=4, radix=1)
+        with pytest.raises(ConfigurationError):
+            OmegaTopology(num_ports=2, radix=4)
+
+
+class TestShuffle:
+    def test_shuffle_rotates_digits_radix2(self):
+        topology = OmegaTopology(num_ports=8, radix=2)
+        # 3 bits: shuffle(b2 b1 b0) = b1 b0 b2
+        assert topology.shuffle(0b100) == 0b001
+        assert topology.shuffle(0b011) == 0b110
+
+    def test_unshuffle_inverts(self):
+        topology = OmegaTopology(num_ports=64, radix=4)
+        for link in range(64):
+            assert topology.unshuffle(topology.shuffle(link)) == link
+            assert topology.shuffle(topology.unshuffle(link)) == link
+
+    def test_shuffle_is_permutation(self):
+        topology = OmegaTopology(num_ports=16, radix=4)
+        assert sorted(topology.shuffle(x) for x in range(16)) == list(range(16))
+
+
+class TestSelfRouting:
+    @pytest.mark.parametrize(
+        "num_ports,radix", [(8, 2), (16, 4), (16, 2), (64, 4), (27, 3)]
+    )
+    def test_every_pair_routes_to_its_destination(self, num_ports, radix):
+        topology = OmegaTopology(num_ports, radix)
+        for source in range(num_ports):
+            for destination in range(num_ports):
+                assert (
+                    topology.delivered_output(source, destination)
+                    == destination
+                )
+
+    def test_route_uses_destination_digits_msb_first(self):
+        topology = OmegaTopology(num_ports=64, radix=4)
+        # destination 27 = 1*16 + 2*4 + 3 -> digits (1, 2, 3)
+        assert topology.route(source=0, destination=27) == (1, 2, 3)
+
+    def test_route_length_equals_stages(self):
+        topology = OmegaTopology(num_ports=64, radix=4)
+        assert len(topology.route(5, 40)) == 3
+
+    def test_trace_visits_every_stage(self):
+        topology = OmegaTopology(num_ports=64, radix=4)
+        visits = topology.trace(source=10, destination=33)
+        assert len(visits) == 3
+        for location in visits:
+            assert 0 <= location.switch < 16
+            assert 0 <= location.port < 4
+
+    def test_next_hop_from_last_stage_rejected(self):
+        topology = OmegaTopology(num_ports=16, radix=4)
+        with pytest.raises(RoutingError):
+            topology.next_hop(stage=1, switch=0, output_port=0)
+
+    def test_entry_point_spreads_sources(self):
+        topology = OmegaTopology(num_ports=16, radix=4)
+        entries = {
+            (loc.switch, loc.port)
+            for loc in (topology.entry_point(s) for s in range(16))
+        }
+        assert len(entries) == 16  # bijective wiring
+
+    def test_link_range_validation(self):
+        topology = OmegaTopology(num_ports=16, radix=4)
+        with pytest.raises(ConfigurationError):
+            topology.route(16, 0)
+        with pytest.raises(ConfigurationError):
+            topology.shuffle(-1)
+
+
+class TestHotSpotTree:
+    def test_paths_to_one_destination_share_final_switch(self):
+        """All traffic to one output converges — the tree-saturation root."""
+        topology = OmegaTopology(num_ports=64, radix=4)
+        final_switches = {
+            topology.trace(source, destination=0)[-1].switch
+            for source in range(64)
+        }
+        assert len(final_switches) == 1

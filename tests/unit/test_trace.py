@@ -1,0 +1,57 @@
+"""Unit tests for the chip trace recorder."""
+
+from repro.chip.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_events_kept_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(3, "a.in0", "first")
+        recorder.record(3, "a.out1", "second")
+        recorder.record(4, "a.in0", "third")
+        assert [event.action for event in recorder.events] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_filter_by_component_prefix(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "chipA.in0", "x")
+        recorder.record(0, "chipA.out0", "y")
+        recorder.record(0, "chipB.in0", "z")
+        assert len(recorder.filter(component="chipA")) == 2
+        assert len(recorder.filter(component="chipA.in")) == 1
+
+    def test_filter_by_action_substring(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "c", "start bit detected")
+        recorder.record(1, "c", "EOP")
+        assert len(recorder.filter(contains="start bit")) == 1
+
+    def test_combined_filters(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "a.in0", "start bit detected")
+        recorder.record(0, "b.in0", "start bit detected")
+        matches = recorder.filter(component="a", contains="start")
+        assert len(matches) == 1
+
+    def test_render_one_line_per_event(self):
+        recorder = TraceRecorder()
+        recorder.record(7, "x", "did a thing")
+        recorder.record(9, "y", "did another")
+        lines = recorder.render().splitlines()
+        assert len(lines) == 2
+        assert "cycle    7" in lines[0]
+        assert "did another" in lines[1]
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "x", "y")
+        recorder.clear()
+        assert recorder.events == []
+
+    def test_event_render(self):
+        event = TraceEvent(12, "chip.in3", "routed")
+        text = event.render()
+        assert "12" in text and "chip.in3" in text and "routed" in text

@@ -1,0 +1,213 @@
+"""Unit tests for the utility layer: RNG streams, stats, tables, events."""
+
+import math
+
+import pytest
+
+from repro.utils.events import EventQueue
+from repro.utils.rng import RandomStream, spawn_streams
+from repro.utils.stats import OnlineStats, RateMeter
+from repro.utils.tables import TextTable, format_value
+
+
+class TestRandomStream:
+    def test_same_seed_and_name_reproduces(self):
+        a = RandomStream(42, "traffic")
+        b = RandomStream(42, "traffic")
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_names_diverge(self):
+        a = RandomStream(42, "port1")
+        b = RandomStream(42, "port2")
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_similar_names_do_not_collide(self):
+        a = RandomStream(42, "port1")
+        b = RandomStream(42, "port11")
+        assert a.randint(0, 10**9) != b.randint(0, 10**9)
+
+    def test_spawn_is_order_independent(self):
+        root = RandomStream(7)
+        child_first = root.spawn("x").randint(0, 10**9)
+        root2 = RandomStream(7)
+        root2.spawn("y")  # creating another child must not disturb "x"
+        assert root2.spawn("x").randint(0, 10**9) == child_first
+
+    def test_bernoulli_extremes(self):
+        stream = RandomStream(1)
+        assert stream.bernoulli(0.0) is False
+        assert stream.bernoulli(1.0) is True
+        with pytest.raises(ValueError):
+            stream.bernoulli(1.5)
+
+    def test_bernoulli_frequency(self):
+        stream = RandomStream(3, "freq")
+        hits = sum(stream.bernoulli(0.3) for _ in range(20_000))
+        assert 0.28 < hits / 20_000 < 0.32
+
+    def test_choice_uniformity_and_empty(self):
+        stream = RandomStream(5)
+        values = [stream.choice("abc") for _ in range(3_000)]
+        for letter in "abc":
+            assert 0.25 < values.count(letter) / 3_000 < 0.42
+        with pytest.raises(ValueError):
+            stream.choice([])
+
+    def test_spawn_streams_helper(self):
+        streams = spawn_streams(9, ["a", "b"])
+        assert set(streams) == {"a", "b"}
+        assert streams["a"].randint(0, 10**9) != streams["b"].randint(0, 10**9)
+
+
+class TestOnlineStats:
+    def test_empty_stats_are_nan(self):
+        stats = OnlineStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.variance)
+
+    def test_matches_direct_computation(self):
+        samples = [3.0, 1.5, 4.25, -2.0, 0.5, 10.0]
+        stats = OnlineStats()
+        for sample in samples:
+            stats.add(sample)
+        mean = sum(samples) / len(samples)
+        variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        assert stats.mean == pytest.approx(mean)
+        assert stats.variance == pytest.approx(variance)
+        assert stats.minimum == -2.0
+        assert stats.maximum == 10.0
+
+    def test_merge_equals_single_pass(self):
+        left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        for i, sample in enumerate([1.0, 2.0, 5.0, -1.0, 3.5]):
+            (left if i < 2 else right).add(sample)
+            combined.add(sample)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+
+    def test_merge_with_empty(self):
+        stats = OnlineStats()
+        stats.add(4.0)
+        stats.merge(OnlineStats())
+        assert stats.count == 1
+        empty = OnlineStats()
+        empty.merge(stats)
+        assert empty.mean == 4.0
+
+    def test_mean_half_width_shrinks_with_samples(self):
+        import random
+
+        rng = random.Random(4)
+        small, large = OnlineStats(), OnlineStats()
+        for index in range(10_000):
+            value = rng.gauss(10.0, 2.0)
+            large.add(value)
+            if index < 100:
+                small.add(value)
+        assert large.mean_half_width() < small.mean_half_width()
+        # The true mean lies inside the 95% interval here.
+        assert abs(large.mean - 10.0) < 3 * large.mean_half_width()
+
+    def test_mean_half_width_undefined_for_single_sample(self):
+        stats = OnlineStats()
+        stats.add(1.0)
+        assert math.isnan(stats.mean_half_width())
+
+
+class TestRateMeter:
+    def test_rate_normalizes_by_width_and_cycles(self):
+        meter = RateMeter(width=4)
+        meter.count(6)
+        meter.advance(3)
+        assert meter.rate == pytest.approx(0.5)
+
+    def test_rate_before_cycles_is_nan(self):
+        assert math.isnan(RateMeter().rate)
+
+    def test_reset(self):
+        meter = RateMeter()
+        meter.count(5)
+        meter.advance(5)
+        meter.reset()
+        assert meter.events == 0 and meter.cycles == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            RateMeter(width=0)
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable("Demo", ["a", "long header"])
+        table.add_row(["x", 1])
+        table.add_row(["longer", 2.5])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "Demo"
+        assert "a" in lines[2] and "long header" in lines[2]
+        assert all(len(line) == len(lines[2]) for line in lines[4:])
+
+    def test_row_width_mismatch(self):
+        table = TextTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_format_value_zero_plus(self):
+        assert format_value(0.0, zero_plus=True) == "0"
+        assert format_value(0.0001, zero_plus=True) == "0+"
+        assert format_value(0.1234, zero_plus=True) == "0.123"
+        assert format_value(0.5) == "0.500"
+        assert format_value("text") == "text"
+        assert format_value(None) == ""
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda: fired.append("b"))
+        queue.schedule(2, lambda: fired.append("a"))
+        queue.run()
+        assert fired == ["a", "b"]
+        assert queue.now == 5
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "xyz":
+            queue.schedule(1, lambda n=name: fired.append(n))
+        queue.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_run_until_stops_at_horizon(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1, lambda: fired.append(1))
+        queue.schedule(10, lambda: fired.append(10))
+        assert queue.run_until(5) == 1
+        assert fired == [1]
+        assert queue.now == 5
+        assert len(queue) == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append(queue.now)
+            if queue.now < 3:
+                queue.schedule(1, chain)
+
+        queue.schedule(1, chain)
+        queue.run()
+        assert fired == [1, 2, 3]

@@ -1,0 +1,145 @@
+"""Unit tests for the extension modules: Markov cross-validation and the
+slot-size area model."""
+
+import pytest
+
+from repro.chip.area import (
+    estimate_slot_size,
+    slot_size_sweep,
+    uniform_length_distribution,
+)
+from repro.errors import ConfigurationError
+from repro.markov.validation import LongClockSwitchSimulator, validate
+
+
+class TestLongClockSimulator:
+    def test_zero_traffic_stays_empty(self):
+        simulator = LongClockSwitchSimulator("DAMQ", 4, traffic_rate=0.0)
+        simulator.run(100)
+        assert simulator.arrivals == 0
+        assert simulator.discards == 0
+        assert all(state == (0, 0) for state in simulator.states)
+
+    def test_full_traffic_generates_every_cycle(self):
+        simulator = LongClockSwitchSimulator("FIFO", 2, traffic_rate=1.0)
+        simulator.run(500)
+        assert simulator.arrivals == 1000
+
+    def test_states_remain_legal(self):
+        simulator = LongClockSwitchSimulator("SAMQ", 4, traffic_rate=0.9)
+        for _ in range(300):
+            simulator.step()
+            for state in simulator.states:
+                assert all(0 <= count <= 2 for count in state)
+
+    def test_deterministic_under_seed(self):
+        first = LongClockSwitchSimulator("DAMQ", 3, 0.8, seed=3)
+        second = LongClockSwitchSimulator("DAMQ", 3, 0.8, seed=3)
+        first.run(200)
+        second.run(200)
+        assert first.discards == second.discards
+        assert first.states == second.states
+
+    @pytest.mark.parametrize("kind", ["FIFO", "DAMQ", "SAMQ", "SAFC"])
+    def test_agrees_with_markov_prediction(self, kind):
+        report = validate(kind, 2, traffic_rate=0.9, cycles=40_000)
+        assert report.discard_error < 0.01, report.describe()
+        assert (
+            abs(report.analytic_throughput - report.simulated_throughput)
+            < 0.01
+        )
+
+    def test_report_describe(self):
+        report = validate("DAMQ", 2, 0.5, cycles=2_000)
+        text = report.describe()
+        assert "DAMQ" in text and "analytic" in text
+
+
+class TestAreaModel:
+    def test_uniform_distribution_sums_to_one(self):
+        lengths = uniform_length_distribution()
+        assert sum(lengths.values()) == pytest.approx(1.0)
+        assert set(lengths) == set(range(1, 33))
+
+    def test_register_overhead_decreases_with_slot_size(self):
+        estimates = slot_size_sweep((4, 8, 16, 32))
+        overheads = [e.register_bits_per_byte for e in estimates]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_fragmentation_increases_with_slot_size(self):
+        estimates = slot_size_sweep((4, 8, 16, 32))
+        fragmentation = [e.expected_fragmentation for e in estimates]
+        assert fragmentation == sorted(fragmentation)
+
+    def test_32_byte_slot_never_chains(self):
+        estimate = estimate_slot_size(32)
+        assert estimate.pointer_ops_per_packet == pytest.approx(1.0)
+
+    def test_fixed_length_distribution(self):
+        # All packets exactly 4 bytes: an 8-byte slot wastes half.
+        estimate = estimate_slot_size(8, lengths={4: 1.0})
+        assert estimate.expected_fragmentation == pytest.approx(0.5)
+        assert estimate.pointer_ops_per_packet == pytest.approx(1.0)
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_slot_size(4, buffer_bytes=16)  # max packet needs 32
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_slot_size(8, lengths={4: 0.4})
+
+    def test_capacity_matches_slots_over_mean(self):
+        estimate = estimate_slot_size(8, lengths={8: 0.5, 16: 0.5})
+        # 12 slots, 1.5 slots per packet on average.
+        assert estimate.expected_packets_capacity == pytest.approx(8.0)
+
+
+class TestVariableSizeSources:
+    def test_sizes_drawn_within_range(self):
+        from repro.network import NetworkConfig
+        from repro.network.simulator import OmegaNetworkSimulator
+
+        config = NetworkConfig(
+            num_ports=16,
+            buffer_kind="DAMQ",
+            slots_per_buffer=8,
+            offered_load=1.0,
+            packet_size=1,
+            packet_size_max=3,
+            seed=8,
+        )
+        simulator = OmegaNetworkSimulator(config)
+        sizes = set()
+        for _ in range(50):
+            simulator.step()
+        for source in simulator.sources:
+            for packet in source.queue:
+                sizes.add(packet.size)
+        for row in simulator.switches:
+            for switch in row:
+                for buffer in switch.buffers:
+                    for packet in buffer.packets():
+                        sizes.add(packet.size)
+        assert sizes <= {1, 2, 3}
+        assert len(sizes) > 1
+
+    def test_invalid_range_rejected(self):
+        from repro.core.packet import PacketFactory
+        from repro.errors import ConfigurationError
+        from repro.network.sources import Source
+        from repro.network.topology import OmegaTopology
+        from repro.network.traffic import UniformTraffic
+        from repro.utils.rng import RandomStream
+
+        with pytest.raises(ConfigurationError):
+            Source(
+                port=0,
+                offered_load=0.5,
+                topology=OmegaTopology(16, 4),
+                pattern=UniformTraffic(16),
+                factory=PacketFactory(),
+                rng=RandomStream(1, "x"),
+                packet_size=3,
+                packet_size_max=2,
+            )
