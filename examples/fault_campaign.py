@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fault injection, graceful degradation, and end-to-end recovery.
+
+Runs two fault campaigns from :mod:`repro.faults`:
+
+1. A 16-chip mesh with seeded bit flips on every link wire and one
+   hard-failed (retired) slot in every buffer.  The link checksum
+   detects corruption, the degraded chips discard the damaged packets,
+   and host-level retransmission with exponential backoff recovers
+   them — watch the delivery rate stay near 100% while hundreds of
+   packets die on the wires.
+
+2. A sweep of the paper's four buffer architectures (FIFO, SAMQ, SAFC,
+   DAMQ) running at reduced capacity under increasing packet loss,
+   showing the throughput each sustains while degraded.
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro.faults import run_buffer_sweep, run_chip_campaign
+from repro.utils.tables import TextTable
+
+LOSS_RATES = (0.0, 1e-3, 1e-2)
+
+
+def chip_campaign() -> None:
+    print("Chip-network fault campaign (this takes a minute)...")
+    result = run_chip_campaign(
+        nodes=16,
+        bit_flip_rate=1e-3,
+        retired_slots_per_buffer=1,
+        messages_per_flow=2,
+    )
+    print(f"  {result.describe()}\n")
+
+    table = TextTable(
+        "Containment counters (where corruption was caught)",
+        ["counter", "events"],
+    )
+    for counter, value in sorted(result.fault_counters.items()):
+        table.add_row([counter, value])
+    table.add_row(["(transport) retransmissions", result.retransmissions])
+    table.add_row(["(transport) duplicates dropped", result.duplicates_dropped])
+    table.add_row(["(transport) undecodable frames", result.undecodable_frames])
+    print(table.render())
+    print()
+
+
+def buffer_sweep() -> None:
+    print("Degraded-buffer throughput sweep...")
+    cells = run_buffer_sweep(loss_rates=LOSS_RATES)
+    table = TextTable(
+        "Delivered throughput, 1 slot retired per buffer "
+        "(packets/cycle/port)",
+        ["buffer", *[f"loss {rate:g}" for rate in LOSS_RATES]],
+    )
+    by_kind: dict[str, list[float]] = {}
+    for cell in cells:
+        by_kind.setdefault(cell.buffer_kind, []).append(
+            cell.delivered_throughput
+        )
+    for kind, throughputs in by_kind.items():
+        table.add_row([kind, *[f"{value:.4f}" for value in throughputs]])
+    print(table.render())
+
+
+def main() -> None:
+    chip_campaign()
+    buffer_sweep()
+
+
+if __name__ == "__main__":
+    main()

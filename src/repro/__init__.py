@@ -27,6 +27,8 @@ from repro.errors import (
     BufferEmptyError,
     BufferFullError,
     ConfigurationError,
+    FaultError,
+    InvariantError,
     ProtocolError,
     ReproError,
     RoutingError,
@@ -50,7 +52,9 @@ __all__ = [
     "ConfigurationError",
     "CrossbarArbiter",
     "DamqBuffer",
+    "FaultError",
     "FifoBuffer",
+    "InvariantError",
     "Message",
     "NetworkConfig",
     "OmegaNetworkSimulator",

@@ -13,6 +13,7 @@ from repro.chip.comcobb import (
     PROCESSOR_PORT,
     ComCoBBChip,
 )
+from repro.chip.degrade import ChipFaultPolicy, FaultCounters
 from repro.chip.host import (
     HostAdapter,
     LENGTH_PREFIX_BYTES,
@@ -36,14 +37,16 @@ from repro.chip.topologies import (
     shortest_path,
 )
 from repro.chip.trace import TraceEvent, TraceRecorder
-from repro.chip.wires import START, Link, Wire
+from repro.chip.wires import START, Link, Wire, xor_checksum
 
 __all__ = [
     "ChipArbiter",
+    "ChipFaultPolicy",
     "ChipNetwork",
     "Circuit",
     "CircuitRouter",
     "ComCoBBChip",
+    "FaultCounters",
     "DEFAULT_SLOTS",
     "DEFAULT_STOP_THRESHOLD",
     "DamqBufferHw",
@@ -77,4 +80,5 @@ __all__ = [
     "TraceRecorder",
     "Wire",
     "packetize",
+    "xor_checksum",
 ]

@@ -16,12 +16,13 @@ cycle granularity.
 from __future__ import annotations
 
 from repro.chip.arbiter import ChipArbiter
+from repro.chip.degrade import ChipFaultPolicy
 from repro.chip.input_port import InputPort
 from repro.chip.output_port import OutputPort
 from repro.chip.router import CircuitRouter
 from repro.chip.slots import DamqBufferHw
 from repro.chip.trace import TraceRecorder
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
 
 __all__ = ["ComCoBBChip", "NUM_PORTS", "PROCESSOR_PORT", "DEFAULT_SLOTS"]
 
@@ -48,6 +49,9 @@ class ComCoBBChip:
         Free-slot level below which an input port asserts flow control.
     trace:
         Optional shared :class:`TraceRecorder`.
+    faults:
+        Optional :class:`ChipFaultPolicy` enabling the link checksum byte
+        and graceful degradation on detected faults.
     """
 
     def __init__(
@@ -57,6 +61,7 @@ class ComCoBBChip:
         stop_threshold: int | None = None,
         trace: TraceRecorder | None = None,
         slot_bytes: int = 8,
+        faults: ChipFaultPolicy | None = None,
     ) -> None:
         if stop_threshold is None:
             # Reserve room for one maximum-size packet plus the remaining
@@ -70,8 +75,10 @@ class ComCoBBChip:
             )
         self.name = name
         self.num_slots = num_slots
+        self.stop_threshold = stop_threshold
         self.slot_bytes = slot_bytes
         self.trace = trace
+        self.faults = faults
         self.buffers = [
             DamqBufferHw(num_slots, NUM_PORTS, port, slot_bytes=slot_bytes)
             for port in range(NUM_PORTS)
@@ -85,10 +92,14 @@ class ComCoBBChip:
                 self.routers[port],
                 stop_threshold,
                 trace,
+                faults=faults,
             )
             for port in range(NUM_PORTS)
         ]
-        self.output_ports = [OutputPort(port, name, trace) for port in range(NUM_PORTS)]
+        self.output_ports = [
+            OutputPort(port, name, trace, faults=faults)
+            for port in range(NUM_PORTS)
+        ]
         self.arbiter = ChipArbiter(name, NUM_PORTS, trace)
 
     # ------------------------------------------------------------------
@@ -118,6 +129,31 @@ class ComCoBBChip:
         """Phase 5: input ports refresh their stop lines."""
         for port in self.input_ports:
             port.update_flow_control()
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+
+    def retire_slot(self, port: int, slot: int | None = None) -> int:
+        """Take one buffer slot of an input port out of service.
+
+        Models a hard storage failure: the slot is removed from the free
+        list and never allocated again, so the port keeps operating at
+        reduced capacity.  Refuses to retire below the flow-control
+        threshold — an input port whose free list can never reach
+        ``stop_threshold`` would assert its stop line forever and
+        deadlock the link.
+        """
+        if not 0 <= port < NUM_PORTS:
+            raise ConfigurationError(f"no such port: {port}")
+        buffer = self.buffers[port]
+        if buffer.lists.usable_slots - 1 < self.stop_threshold:
+            raise FaultError(
+                f"{self.name}.in{port}: retiring another slot would leave "
+                f"{buffer.lists.usable_slots - 1} usable slots, below the "
+                f"flow-control threshold of {self.stop_threshold}"
+            )
+        return buffer.retire_slot(slot)
 
     # ------------------------------------------------------------------
     # Inspection

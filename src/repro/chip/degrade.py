@@ -1,0 +1,87 @@
+"""Per-network fault policy and detection counters for the chip model.
+
+The ComCoBB model is fault-free by default: every illegal wire sequence is
+a modelling bug and raises :class:`~repro.errors.ProtocolError`.  When the
+fault-injection subsystem (:mod:`repro.faults`) is active, the same events
+are *expected* — a flipped header bit produces an unknown circuit, a
+flipped length byte desynchronizes the receive FSM — and the chips must
+degrade gracefully instead of crashing the simulation.
+
+:class:`ChipFaultPolicy` is the knob: it turns on the link-level checksum
+byte of the wire protocol and selects between *detect-and-raise* (the
+error hierarchy fires on the first detected fault) and *degrade* (corrupt
+packets are dropped or forwarded-and-counted, and the receive FSMs resync
+on the next start bit).  One policy instance is shared by every chip and
+host adapter of a :class:`~repro.chip.network.ChipNetwork`, so its
+:class:`FaultCounters` aggregate detection events network-wide.
+
+This module deliberately lives inside :mod:`repro.chip` (not
+:mod:`repro.faults`) so the chip layer never imports the fault package —
+the dependency points one way: faults → chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["ChipFaultPolicy", "FaultCounters"]
+
+
+@dataclass
+class FaultCounters:
+    """Detection and degradation events, aggregated network-wide."""
+
+    #: Link checksum byte did not match the received packet (input port).
+    checksum_failures: int = 0
+    #: Header byte named no programmed circuit, or an illegal turn-around.
+    header_faults: int = 0
+    #: Length byte outside the legal 1-32 range.
+    length_faults: int = 0
+    #: Data byte sampled while the receive FSM was idle (framing lost).
+    stray_symbols: int = 0
+    #: Start bit sampled mid-packet; the FSM resynchronized on it.
+    resyncs: int = 0
+    #: Corrupt packets removed from a buffer before transmission began.
+    packets_aborted: int = 0
+    #: Corrupt packets that were already cutting through; padded/forwarded.
+    packets_poisoned: int = 0
+    #: Packets the buffer could not even accept (free list exhausted).
+    receive_overflows: int = 0
+    #: Cut-through reads that outran a stalled writer; packet padded.
+    read_underruns: int = 0
+    #: Checksum failures detected at the host delivery interface.
+    host_checksum_failures: int = 0
+    #: Message reassemblies dropped because they stopped making progress.
+    stale_assemblies_flushed: int = 0
+
+    @property
+    def total_detected(self) -> int:
+        """Every detection event (the fault-campaign headline number)."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter name → value, for reports."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class ChipFaultPolicy:
+    """How a chip network detects and survives injected faults.
+
+    Parameters
+    ----------
+    checksum:
+        Append a checksum byte (XOR of header, length and data bytes) to
+        every packet on every link, verified by the receiving input port
+        and host adapter.  Costs one wire cycle per packet.
+    degrade:
+        When True, detected faults are counted and contained (packets
+        dropped, FSMs resynchronized) and the simulation keeps running;
+        when False, the first detected fault raises
+        :class:`~repro.errors.ProtocolError` — useful for tests that
+        assert detection actually fires.
+    """
+
+    checksum: bool = True
+    degrade: bool = True
+    counters: FaultCounters = field(default_factory=FaultCounters)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.chip.comcobb import ComCoBBChip, PROCESSOR_PORT
 from repro.chip.trace import TraceRecorder
-from repro.chip.wires import START, Link
+from repro.chip.wires import START, Link, xor_checksum
 from repro.errors import ConfigurationError, ProtocolError
 
 __all__ = ["HostAdapter", "ReceivedMessage", "packetize", "LENGTH_PREFIX_BYTES"]
@@ -65,6 +65,11 @@ class _Reassembly:
 
     data: bytearray = field(default_factory=bytearray)
     packets: int = 0
+    #: Cycle of the most recent packet, for staleness detection: a
+    #: reassembly that stops making progress (a packet of its message was
+    #: dropped by fault containment) would otherwise absorb the bytes of
+    #: every later message on the same tag.
+    last_cycle: int = 0
 
     def declared_length(self) -> int | None:
         if len(self.data) < LENGTH_PREFIX_BYTES:
@@ -98,6 +103,7 @@ class HostAdapter:
         self._rx_remaining = 0
         self._rx_tag: int | None = None
         self._rx_bytes: bytearray = bytearray()
+        self._rx_checksum = 0
         self._assembling: dict[int, _Reassembly] = {}
         self.received_messages: list[ReceivedMessage] = []
         self.packets_delivered = 0
@@ -113,11 +119,16 @@ class HostAdapter:
         Returns the number of packets the message occupies.
         """
         chunks = packetize(payload)
+        faults = self.chip.faults
         for chunk in chunks:
             self._symbols.append(START)
             self._symbols.append(circuit_header)
             self._symbols.append(len(chunk))
             self._symbols.extend(chunk)
+            if faults is not None and faults.checksum:
+                self._symbols.append(
+                    xor_checksum([circuit_header, len(chunk), *chunk])
+                )
         self.messages_sent += 1
         return len(chunks)
 
@@ -144,30 +155,84 @@ class HostAdapter:
     # Receiving
     # ------------------------------------------------------------------
 
+    @property
+    def _degrading(self) -> bool:
+        faults = self.chip.faults
+        return faults is not None and faults.degrade
+
+    @property
+    def _checksummed(self) -> bool:
+        faults = self.chip.faults
+        return faults is not None and faults.checksum
+
     def sample(self, cycle: int) -> None:
-        """Parse the delivery wire: start/header/length/data."""
+        """Parse the delivery wire: start/header/length/data[/checksum]."""
         value = self.deliver_link.data.sample()
         if value is None:
             return
         if value is START:
             if self._rx_state != "idle":
-                raise ProtocolError(f"{self.chip.name}: start bit mid-packet")
+                if self._degrading:
+                    # Framing lost mid-packet: drop the partial packet and
+                    # resynchronize on this start bit.
+                    assert self.chip.faults is not None
+                    self.chip.faults.counters.resyncs += 1
+                    self._record(cycle, "start bit mid-packet; resyncing")
+                else:
+                    raise ProtocolError(
+                        f"{self.chip.name}: start bit mid-packet"
+                    )
             self._rx_state = "header"
+            self._rx_checksum = 0
             return
         assert isinstance(value, int)
         if self._rx_state == "header":
             self._rx_tag = value
+            self._rx_checksum ^= value
             self._rx_state = "length"
         elif self._rx_state == "length":
             self._rx_remaining = value
+            self._rx_checksum ^= value
             self._rx_bytes = bytearray()
             self._rx_state = "data"
         elif self._rx_state == "data":
             self._rx_bytes.append(value)
+            self._rx_checksum ^= value
             self._rx_remaining -= 1
             if self._rx_remaining == 0:
+                if self._checksummed:
+                    self._rx_state = "checksum"
+                else:
+                    self._finish_packet(cycle)
+        elif self._rx_state == "checksum":
+            if value == self._rx_checksum & 0xFF:
                 self._finish_packet(cycle)
+                return
+            if not self._degrading:
+                raise ProtocolError(
+                    f"{self.chip.name}: host checksum mismatch (expected "
+                    f"{self._rx_checksum & 0xFF}, got {value})"
+                )
+            assert self.chip.faults is not None
+            self.chip.faults.counters.host_checksum_failures += 1
+            # The packet is unusable and leaves an unfillable hole in its
+            # message, so discard the whole reassembly for this tag: the
+            # end-to-end transport will resend the message from scratch.
+            if self._rx_tag is not None:
+                self._assembling.pop(self._rx_tag, None)
+            self._record(
+                cycle,
+                f"host checksum mismatch (tag {self._rx_tag}); "
+                f"packet and reassembly dropped",
+            )
+            self._rx_state = "idle"
+            self._rx_tag = None
         else:
+            if self._degrading:
+                assert self.chip.faults is not None
+                self.chip.faults.counters.stray_symbols += 1
+                self._record(cycle, f"stray byte {value} ignored (fault)")
+                return
             raise ProtocolError(f"{self.chip.name}: byte {value} while idle")
 
     def _finish_packet(self, cycle: int) -> None:
@@ -176,6 +241,7 @@ class HostAdapter:
         assembly = self._assembling.setdefault(self._rx_tag, _Reassembly())
         assembly.data.extend(self._rx_bytes)
         assembly.packets += 1
+        assembly.last_cycle = cycle
         if assembly.complete():
             declared = assembly.declared_length()
             assert declared is not None
@@ -202,6 +268,32 @@ class HostAdapter:
                 )
         self._rx_state = "idle"
         self._rx_tag = None
+
+    def flush_stale_assemblies(self, cycle: int, max_age: int) -> int:
+        """Drop partial reassemblies that stopped making progress.
+
+        A packet dropped by fault containment leaves its message's
+        reassembly waiting forever; worse, the stale prefix would absorb
+        and misalign every later message on the same delivery tag.  The
+        end-to-end transport calls this between retransmissions so a
+        resent message starts from a clean slate.  Returns the number of
+        reassemblies flushed.
+        """
+        stale = [
+            tag
+            for tag, assembly in self._assembling.items()
+            if cycle - assembly.last_cycle > max_age
+        ]
+        for tag in stale:
+            del self._assembling[tag]
+            if self.chip.faults is not None:
+                self.chip.faults.counters.stale_assemblies_flushed += 1
+            self._record(cycle, f"stale reassembly flushed (tag {tag})")
+        return len(stale)
+
+    def _record(self, cycle: int, action: str) -> None:
+        if self.trace is not None:
+            self.trace.record(cycle, f"{self.chip.name}.host", action)
 
     def end_cycle(self) -> None:
         """Clear the adapter's wires at the cycle boundary."""

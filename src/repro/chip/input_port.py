@@ -13,6 +13,9 @@ header byte           router lookup; claim the free-list head
 length byte           load the length register and write counter
 data byte             write into the current slot, allocating a
                       continuation slot every eight bytes
+checksum byte         (fault policy only) verify the link
+                      checksum accumulated over header, length
+                      and data
 ====================  =========================================
 
 This matches Table 1: a start bit sampled in cycle 0 yields a routed,
@@ -24,18 +27,29 @@ free list drops below ``stop_threshold`` slots, the upstream output port
 must not start new packets (in-flight packets always complete; the
 threshold reserves room for one maximum-size packet plus the tail of the
 packet currently streaming in).
+
+Fault handling
+--------------
+With a :class:`~repro.chip.degrade.ChipFaultPolicy` in *degrade* mode the
+port contains corruption instead of raising: an unknown header or illegal
+length discards the rest of the packet and resynchronizes on the next
+start bit; a checksum mismatch aborts the packet (frees its slots) when
+transmission has not begun, or pads-and-poisons it when the packet is
+already cutting through downstream.  Every event increments the policy's
+shared :class:`~repro.chip.degrade.FaultCounters`.
 """
 
 from __future__ import annotations
 
 import enum
 
+from repro.chip.degrade import ChipFaultPolicy
 from repro.chip.router import CircuitRouter
 from repro.chip.slots import DamqBufferHw, HwPacket
 from repro.chip.synchronizer import Synchronizer
 from repro.chip.trace import TraceRecorder
 from repro.chip.wires import START, Link
-from repro.errors import ProtocolError
+from repro.errors import BufferFullError, ProtocolError, RoutingError
 
 __all__ = ["InputPort", "DEFAULT_STOP_THRESHOLD"]
 
@@ -52,6 +66,10 @@ class _ReceiveState(enum.Enum):
     HEADER = "header"
     LENGTH = "length"
     DATA = "data"
+    CHECKSUM = "checksum"
+    #: Degrade mode: a fault destroyed the packet framing; swallow bytes
+    #: until the next start bit restores synchronization.
+    DISCARD = "discard"
 
 
 class InputPort:
@@ -65,6 +83,7 @@ class InputPort:
         router: CircuitRouter,
         stop_threshold: int = DEFAULT_STOP_THRESHOLD,
         trace: TraceRecorder | None = None,
+        faults: ChipFaultPolicy | None = None,
     ) -> None:
         self.port_id = port_id
         self.chip_name = chip_name
@@ -72,10 +91,12 @@ class InputPort:
         self.router = router
         self.stop_threshold = stop_threshold
         self.trace = trace
+        self.faults = faults
         self.link: Link | None = None
         self.sync = Synchronizer()
         self._state = _ReceiveState.IDLE
         self._current: HwPacket | None = None
+        self._checksum = 0
         self._last_start_cycle: int | None = None
         self.packets_received = 0
 
@@ -87,6 +108,16 @@ class InputPort:
     def attach(self, link: Link) -> None:
         """Connect the incoming link."""
         self.link = link
+
+    @property
+    def _degrading(self) -> bool:
+        """Whether detected faults are contained rather than raised."""
+        return self.faults is not None and self.faults.degrade
+
+    @property
+    def _checksummed(self) -> bool:
+        """Whether the link protocol carries a checksum byte."""
+        return self.faults is not None and self.faults.checksum
 
     # ------------------------------------------------------------------
     # Per-cycle behaviour
@@ -104,30 +135,72 @@ class InputPort:
         if released is None:
             return
         if released is START:
-            if self._state is not _ReceiveState.IDLE:
-                raise ProtocolError(
-                    f"{self.name}: start bit inside a packet"
-                )
-            self._state = _ReceiveState.HEADER
+            self._receive_start(cycle)
         elif self._state is _ReceiveState.HEADER:
             self._receive_header(cycle, released)
         elif self._state is _ReceiveState.LENGTH:
             self._receive_length(cycle, released)
         elif self._state is _ReceiveState.DATA:
             self._receive_data(cycle, released)
+        elif self._state is _ReceiveState.CHECKSUM:
+            self._receive_checksum(cycle, released)
+        elif self._state is _ReceiveState.DISCARD:
+            pass  # swallowing a corrupt packet's remains
         else:
+            if self._degrading:
+                assert self.faults is not None
+                self.faults.counters.stray_symbols += 1
+                self._record(cycle, f"stray byte {released} ignored (fault)")
+                return
             raise ProtocolError(
                 f"{self.name}: unexpected byte {released!r} while idle"
             )
 
+    def _receive_start(self, cycle: int) -> None:
+        """A start bit left the synchronizer."""
+        if self._state in (_ReceiveState.IDLE, _ReceiveState.DISCARD):
+            if self._state is _ReceiveState.DISCARD:
+                assert self.faults is not None
+                self.faults.counters.resyncs += 1
+                self._record(cycle, "resynchronized on start bit")
+            self._state = _ReceiveState.HEADER
+            self._checksum = 0
+            return
+        if self._degrading:
+            # A start bit inside a packet means framing was lost (a
+            # corrupted length byte, most likely).  Contain the damage
+            # and treat the start bit as the beginning of a new packet.
+            assert self.faults is not None
+            self.faults.counters.resyncs += 1
+            self._abandon_current(cycle, "start bit inside a packet")
+            self._state = _ReceiveState.HEADER
+            self._checksum = 0
+            return
+        raise ProtocolError(f"{self.name}: start bit inside a packet")
+
     def _receive_header(self, cycle: int, header: int) -> None:
         """Router lookup and slot claim (cycle 2 of Table 1)."""
-        entry = self.router.lookup(header)
-        packet = self.buffer.begin_packet(
-            destination=entry.output_port,
-            new_header=entry.new_header,
-            source_port=self.port_id,
-        )
+        self._checksum ^= header
+        try:
+            entry = self.router.lookup(header)
+            packet = self.buffer.begin_packet(
+                destination=entry.output_port,
+                new_header=entry.new_header,
+                source_port=self.port_id,
+            )
+        except (RoutingError, ProtocolError, BufferFullError) as error:
+            if self._degrading:
+                assert self.faults is not None
+                if isinstance(error, BufferFullError):
+                    self.faults.counters.receive_overflows += 1
+                else:
+                    self.faults.counters.header_faults += 1
+                self._state = _ReceiveState.DISCARD
+                self._record(
+                    cycle, f"header {header} rejected ({error}); discarding"
+                )
+                return
+            raise
         packet.start_sampled_cycle = self._last_start_cycle
         self._current = packet
         self._state = _ReceiveState.LENGTH
@@ -140,21 +213,93 @@ class InputPort:
     def _receive_length(self, cycle: int, length: int) -> None:
         """Length decode (cycle 3 of Table 1)."""
         assert self._current is not None
-        self.buffer.set_length(self._current, length)
+        self._checksum ^= length
+        try:
+            self.buffer.set_length(self._current, length)
+        except ProtocolError:
+            if self._degrading:
+                assert self.faults is not None
+                self.faults.counters.length_faults += 1
+                # Length never loaded, so the packet was never
+                # transmittable: aborting is always possible here.
+                self.buffer.abort_packet(self._current)
+                self.faults.counters.packets_aborted += 1
+                self._current = None
+                self._state = _ReceiveState.DISCARD
+                self._record(
+                    cycle, f"illegal length {length}; packet aborted"
+                )
+                return
+            raise
         self._state = _ReceiveState.DATA
-        self._record(
-            cycle, f"length {length} latched into write counter"
-        )
+        self._record(cycle, f"length {length} latched into write counter")
 
     def _receive_data(self, cycle: int, byte: int) -> None:
         """One data byte into the buffer (cycles 4+ of Table 1)."""
         assert self._current is not None
+        if self._current.poisoned and self._current.fully_written:
+            # The transmit side already padded this packet out (read
+            # underrun after a corrupted length byte); the sender's real
+            # tail bytes have nowhere to go.  Swallow them until the next
+            # start bit resynchronizes the FSM.
+            self._record(cycle, "byte for a padded packet discarded")
+            return
+        self._checksum ^= byte
         self.buffer.write_byte(self._current, byte)
         if self._current.fully_written:
+            if self._checksummed:
+                self._state = _ReceiveState.CHECKSUM
+                return
             self._record(cycle, "EOP: write counter reached zero")
             self.packets_received += 1
             self._current = None
             self._state = _ReceiveState.IDLE
+
+    def _receive_checksum(self, cycle: int, byte: int) -> None:
+        """Verify the link checksum accumulated over the packet."""
+        assert self._current is not None
+        if byte == self._checksum & 0xFF:
+            self._record(cycle, "EOP: checksum verified")
+            self.packets_received += 1
+            self._current = None
+            self._state = _ReceiveState.IDLE
+            return
+        if not self._degrading:
+            raise ProtocolError(
+                f"{self.name}: checksum mismatch (expected "
+                f"{self._checksum & 0xFF}, got {byte})"
+            )
+        assert self.faults is not None
+        self.faults.counters.checksum_failures += 1
+        packet = self._current
+        if packet.transmit_started:
+            # Already cutting through: the corruption has propagated and
+            # only the end-to-end transport can repair it.
+            packet.poisoned = True
+            self.faults.counters.packets_poisoned += 1
+            self._record(cycle, "checksum mismatch on a cut-through packet")
+        else:
+            self.buffer.abort_packet(packet)
+            self.faults.counters.packets_aborted += 1
+            self._record(cycle, "checksum mismatch; packet aborted")
+        self._current = None
+        self._state = _ReceiveState.IDLE
+
+    def _abandon_current(self, cycle: int, reason: str) -> None:
+        """Contain a packet cut off mid-reception (degrade mode only)."""
+        assert self.faults is not None
+        packet = self._current
+        self._current = None
+        if packet is None:
+            return
+        if packet.transmit_started:
+            self.buffer.pad_packet(packet)
+            self.faults.counters.packets_poisoned += 1
+            self._record(cycle, f"{reason}: cut-through packet padded")
+        else:
+            self.buffer.abort_packet(packet)
+            self.faults.counters.packets_aborted += 1
+            self._record(cycle, f"{reason}: packet aborted")
 
     def update_flow_control(self) -> None:
         """Drive the stop line from the free-list level."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.chip.comcobb import NUM_PORTS, PROCESSOR_PORT, ComCoBBChip
+from repro.chip.degrade import ChipFaultPolicy
 from repro.chip.host import HostAdapter
 from repro.chip.trace import TraceRecorder
 from repro.chip.wires import Link
@@ -62,11 +63,13 @@ class ChipNetwork:
         stop_threshold: int | None = None,
         trace: TraceRecorder | None = None,
         slot_bytes: int = 8,
+        faults: ChipFaultPolicy | None = None,
     ) -> None:
         self.trace = trace
         self.num_slots = num_slots
         self.stop_threshold = stop_threshold
         self.slot_bytes = slot_bytes
+        self.faults = faults
         self.nodes: dict[str, Node] = {}
         self._links: list[Link] = []
         # adjacency[(node, port)] = (neighbour node, neighbour port)
@@ -93,6 +96,7 @@ class ChipNetwork:
             num_slots=self.num_slots,
             trace=self.trace,
             slot_bytes=self.slot_bytes,
+            faults=self.faults,
             **kwargs,
         )
         host = HostAdapter(chip, self.trace)
@@ -122,6 +126,20 @@ class ChipNetwork:
         self._links.extend([forward, backward])
         self._adjacency[(name_a, port_a)] = (name_b, port_b)
         self._adjacency[(name_b, port_b)] = (name_a, port_a)
+
+    def links(self, include_host_links: bool = True) -> list[Link]:
+        """Every link in the network, in deterministic construction order.
+
+        Inter-chip links first, then each node's host injection and
+        delivery links.  The fault injector uses this to attach its wire
+        corruption hooks.
+        """
+        links = list(self._links)
+        if include_host_links:
+            for node in self.nodes.values():
+                links.append(node.host.inject_link)
+                links.append(node.host.deliver_link)
+        return links
 
     def _port_towards(self, name: str, neighbour: str) -> tuple[int, int]:
         """The (local output port, neighbour input port) pair linking two

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 
+from repro.chip.degrade import ChipFaultPolicy
 from repro.chip.slots import DamqBufferHw, HwPacket
 from repro.chip.trace import TraceRecorder
 from repro.chip.wires import START, Link
@@ -33,6 +34,7 @@ class _SendState(enum.Enum):
     HEADER = "header"  # start bit already pending
     LENGTH = "length"
     DATA = "data"
+    CHECKSUM = "checksum"  # link checksum byte (fault policy only)
     FINISHING = "finishing"  # last byte pending on the latch
 
 
@@ -44,16 +46,19 @@ class OutputPort:
         port_id: int,
         chip_name: str,
         trace: TraceRecorder | None = None,
+        faults: ChipFaultPolicy | None = None,
     ) -> None:
         self.port_id = port_id
         self.chip_name = chip_name
         self.trace = trace
+        self.faults = faults
         self.link: Link | None = None
         self._state = _SendState.IDLE
         self._pending: object = None
         self._pending_is_start = False
         self._buffer: DamqBufferHw | None = None
         self._packet: HwPacket | None = None
+        self._checksum = 0
         self.packets_sent = 0
 
     @property
@@ -90,10 +95,12 @@ class OutputPort:
             )
         self._buffer = buffer
         self._packet = packet
+        packet.transmit_started = True
         buffer.reader_active = True
         self._state = _SendState.HEADER
         self._pending = START
         self._pending_is_start = True
+        self._checksum = 0
         self._record(cycle, f"granted buffer of input {buffer.port_id}")
 
     # ------------------------------------------------------------------
@@ -124,8 +131,10 @@ class OutputPort:
             # start bit.
             return
         assert self._packet is not None and self._buffer is not None
+        checksummed = self.faults is not None and self.faults.checksum
         if self._state is _SendState.HEADER:
             self._pending = self._packet.new_header
+            self._checksum = self._packet.new_header
             self._state = _SendState.LENGTH
             self._record(
                 cycle, f"header {self._packet.new_header} latched from crossbar"
@@ -134,16 +143,39 @@ class OutputPort:
             if not self._packet.length_known:
                 raise ProtocolError(f"{self.name}: length not ready")
             self._pending = self._packet.length
+            self._checksum ^= self._packet.length
             self._state = _SendState.DATA
             self._record(
                 cycle, f"length {self._packet.length} loaded into read counter"
             )
         elif self._state is _SendState.DATA:
+            if (
+                self.faults is not None
+                and self.faults.degrade
+                and self._packet.bytes_read >= self._packet.bytes_written
+            ):
+                # Read underrun: the writer stalled mid-packet (a length
+                # byte corrupted upward makes the read counter expect
+                # bytes the sender will never produce).  A real chip
+                # would clock out stale buffer cells; fabricate the
+                # remainder and let the end-to-end transport recover.
+                self._buffer.pad_packet(self._packet)
+                self.faults.counters.read_underruns += 1
+                self._record(cycle, "read underrun; packet padded")
             byte = self._buffer.read_byte(self._packet)
             self._pending = byte
+            self._checksum ^= byte
             if self._packet.fully_read:
-                self._state = _SendState.FINISHING
+                if checksummed:
+                    self._state = _SendState.CHECKSUM
+                else:
+                    self._state = _SendState.FINISHING
                 self._record(cycle, "read counter reached zero (EOP)")
+        elif self._state is _SendState.CHECKSUM:
+            # Regenerated per hop: the checksum protects this link only.
+            self._pending = self._checksum & 0xFF
+            self._state = _SendState.FINISHING
+            self._record(cycle, f"checksum {self._checksum & 0xFF} appended")
 
     def _disconnect(self, cycle: int) -> None:
         """Tear down the crossbar connection after the final byte."""

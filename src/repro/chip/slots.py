@@ -26,6 +26,8 @@ from repro.core.linkedlist import SlotListManager
 from repro.errors import (
     BufferEmptyError,
     ConfigurationError,
+    FaultError,
+    InvariantError,
     ProtocolError,
 )
 
@@ -60,6 +62,13 @@ class HwPacket:
     start_sampled_cycle: int | None = None
     start_driven_cycle: int | None = None
     source_port: int | None = None
+    #: Set by the output port at grant time; after this the packet's head
+    #: slots start recycling and the packet can no longer be aborted.
+    transmit_started: bool = False
+    #: A fault was detected after transmission had begun: the packet's
+    #: remaining bytes are zero-padding and its contents must not be
+    #: trusted (the end-to-end transport will reject and retransmit).
+    poisoned: bool = False
 
     @property
     def length_known(self) -> bool:
@@ -242,6 +251,70 @@ class DamqBufferHw:
             raise ProtocolError("finishing a packet before its last byte")
         queue.popleft()
 
+    # ------------------------------------------------------------------
+    # Fault handling (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def abort_packet(self, packet: HwPacket) -> None:
+        """Un-claim a corrupt packet that has not begun transmission.
+
+        The packet is by construction the newest on its destination list
+        (packets arrive serially per input port), so its slots are the
+        tail run of that list: they are released tail-first and scrubbed,
+        and the progress record is dropped from the queue.  Raises
+        :class:`ProtocolError` if any byte has already left the buffer —
+        such a packet can only be poisoned, not aborted.
+        """
+        queue = self.queues[packet.destination]
+        if not queue or queue[-1] is not packet:
+            raise ProtocolError(
+                "aborted packet is not the newest on its destination queue"
+            )
+        if packet.transmit_started or packet.slots_released or packet.bytes_read:
+            raise ProtocolError("cannot abort a packet already transmitting")
+        queue.pop()
+        for expected in reversed(packet.slots):
+            released = self.lists.release_tail(packet.destination)
+            if released != expected:
+                raise InvariantError(
+                    f"linked list corruption during abort: released slot "
+                    f"{released}, expected {expected}"
+                )
+            self._scrub_slot(released)
+        packet.slots.clear()
+        packet.bytes_written = 0
+
+    def pad_packet(self, packet: HwPacket) -> None:
+        """Complete a truncated packet with zero filler bytes.
+
+        Used when a fault cuts off a packet whose transmission has
+        already started (virtual cut-through): the transmitter is
+        mid-stream and must see the declared number of bytes, so the
+        controller fabricates the remainder — exactly the garbage a real
+        chip would clock out of stale buffer cells.  The packet is marked
+        poisoned; the downstream link checksum is regenerated over the
+        garbage, so only the end-to-end transport catches it.
+        """
+        if not packet.length_known:
+            raise ProtocolError("cannot pad a packet with no length")
+        packet.poisoned = True
+        while not packet.fully_written:
+            self.write_byte(packet, 0)
+
+    def retire_slot(self, slot: int | None = None) -> int:
+        """Take one free slot out of service (hard slot failure).
+
+        Guarded so the buffer can still hold a maximum-size packet —
+        retiring below that would wedge the input port forever.
+        """
+        max_packet_slots = -(-MAX_PACKET_BYTES // self.slot_bytes)
+        if self.lists.usable_slots - 1 < max_packet_slots:
+            raise FaultError(
+                f"retiring would leave fewer than {max_packet_slots} usable "
+                f"slots: a maximum-size packet could never be buffered"
+            )
+        return self.lists.retire_slot(slot)
+
     def _scrub_slot(self, slot: int) -> None:
         """Clear a recycled slot's cells and registers (debug hygiene)."""
         self.data[slot] = [None] * self.slot_bytes
@@ -258,6 +331,11 @@ class DamqBufferHw:
         return self.lists.free_count
 
     @property
+    def retired_count(self) -> int:
+        """Slots taken out of service by the fault model."""
+        return self.lists.retired_count
+
+    @property
     def occupancy(self) -> int:
         """Slots in use."""
         return self.lists.occupancy()
@@ -271,14 +349,18 @@ class DamqBufferHw:
         return sum(len(queue) for queue in self.queues)
 
     def check_invariants(self) -> None:
-        """Structural self-check used by the tests."""
+        """Structural self-check used by the tests.
+
+        Raises :class:`InvariantError` on corruption.
+        """
         self.lists.check_invariants()
         for destination, queue in enumerate(self.queues):
             chained = self.lists.slots(destination)
             expected: list[int] = []
             for packet in queue:
                 expected.extend(packet.slots[packet.slots_released :])
-            assert chained == expected, (
-                f"port {self.port_id} list {destination}: slots {chained} "
-                f"!= packet records {expected}"
-            )
+            if chained != expected:
+                raise InvariantError(
+                    f"port {self.port_id} list {destination}: slots "
+                    f"{chained} != packet records {expected}"
+                )

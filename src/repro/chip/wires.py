@@ -14,9 +14,25 @@ put on it in the same cycle — exactly like a synchronous bus.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
+
 from repro.errors import ProtocolError
 
-__all__ = ["START", "Wire", "Link"]
+__all__ = ["START", "Wire", "Link", "xor_checksum"]
+
+
+def xor_checksum(values: Iterable[int]) -> int:
+    """Checksum byte of the ComCoBB wire protocol: XOR of all bytes.
+
+    Covers the header, length and data bytes of one packet on one link
+    (the start bit carries no data and is excluded).  Each hop strips and
+    regenerates the byte, so the checksum protects exactly one wire
+    crossing — end-to-end integrity is the host transport's job.
+    """
+    checksum = 0
+    for value in values:
+        checksum ^= value
+    return checksum & 0xFF
 
 
 class _StartBit:
@@ -34,12 +50,20 @@ WireValue = object  # None | START | int in [0, 255]
 
 
 class Wire:
-    """One unidirectional byte lane, valid for a single clock cycle."""
+    """One unidirectional byte lane, valid for a single clock cycle.
+
+    ``fault`` is the fault-injection hook: when set (by
+    :class:`repro.faults.FaultInjector`), every *byte* driven onto the
+    wire passes through it and may come back corrupted — modelling bit
+    flips and stuck-at wires.  Start bits and idle cycles are never
+    corrupted (the start line is a separate, assumed-good wire).
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._value: WireValue = None
         self._driven = False
+        self.fault: Callable[[str, int], int] | None = None
 
     def drive(self, value: WireValue) -> None:
         """Put a value on the wire for this cycle (at most one driver)."""
@@ -50,6 +74,8 @@ class Wire:
                 raise ProtocolError(
                     f"wire {self.name!r} can only carry bytes, got {value!r}"
                 )
+            if self.fault is not None:
+                value = self.fault(self.name, value)
         self._value = value
         self._driven = value is not None
 

@@ -62,6 +62,7 @@ class SwitchBuffer(ABC):
             raise ConfigurationError("switch needs at least one output port")
         self.capacity = capacity
         self.num_outputs = num_outputs
+        self._retired_slots = 0
 
     # ------------------------------------------------------------------
     # Write side
@@ -138,9 +139,45 @@ class SwitchBuffer(ABC):
         """Total slots currently in use."""
 
     @property
+    def retired_count(self) -> int:
+        """Slots permanently taken out of service by the fault model."""
+        return self._retired_slots
+
+    @property
+    def effective_capacity(self) -> int:
+        """Capacity still in service after slot retirement."""
+        return self.capacity - self.retired_count
+
+    @property
     def free_slots(self) -> int:
-        """Slots still available (whole-pool view)."""
-        return self.capacity - self.occupancy
+        """Slots still available (whole-pool view, excluding retired)."""
+        return self.effective_capacity - self.occupancy
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def retire_slot(self) -> None:
+        """Take one currently free slot out of service permanently.
+
+        Models a hard slot failure: the buffer keeps operating at reduced
+        capacity.  Raises :class:`repro.errors.FaultError` when no free
+        slot can be spared (every usable slot occupied, or the buffer
+        would be left without capacity).
+        """
+
+    def retire_slots(self, count: int) -> None:
+        """Retire ``count`` slots (convenience for fault campaigns)."""
+        if count < 0:
+            raise ConfigurationError("cannot retire a negative slot count")
+        for _ in range(count):
+            self.retire_slot()
+
+    def check_invariants(self) -> None:
+        """Structural self-check; raises
+        :class:`repro.errors.InvariantError` on corruption.  Subclasses
+        override with architecture-specific checks."""
 
     @property
     def is_empty(self) -> bool:

@@ -18,7 +18,12 @@ from __future__ import annotations
 from repro.core.buffer import SwitchBuffer
 from repro.core.linkedlist import SlotListManager
 from repro.core.packet import Packet
-from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    ConfigurationError,
+    InvariantError,
+)
 
 __all__ = ["DamqBuffer"]
 
@@ -95,6 +100,21 @@ class DamqBuffer(SwitchBuffer):
         self._check_output(destination)
         return self._packet_counts[destination]
 
+    # -- graceful degradation ----------------------------------------------
+
+    def retire_slot(self) -> None:
+        """Retire one free slot from the shared pool.
+
+        Unlike the statically partitioned buffers, the DAMQ design loses
+        nothing but raw capacity: every surviving slot remains available
+        to every destination queue.
+        """
+        self._lists.retire_slot()
+
+    @property
+    def retired_count(self) -> int:
+        return self._lists.retired_count
+
     # -- inspection --------------------------------------------------------
 
     @property
@@ -114,22 +134,34 @@ class DamqBuffer(SwitchBuffer):
         return result
 
     def check_invariants(self) -> None:
-        """Structural self-check delegated to the register-file model."""
+        """Structural self-check delegated to the register-file model.
+
+        Raises :class:`InvariantError` on corruption.
+        """
         self._lists.check_invariants()
         for output in range(self.num_outputs):
             packet_ids = set()
             for slot in self._lists.slots(output):
                 packet = self._slot_packet[slot]
-                assert packet is not None, f"allocated slot {slot} holds no packet"
+                if packet is None:
+                    raise InvariantError(
+                        f"allocated slot {slot} holds no packet"
+                    )
                 packet_ids.add(packet.packet_id)
-            assert len(packet_ids) == self._packet_counts[output], (
-                f"queue {output}: cached count {self._packet_counts[output]} "
-                f"!= actual {len(packet_ids)}"
-            )
+            if len(packet_ids) != self._packet_counts[output]:
+                raise InvariantError(
+                    f"queue {output}: cached count "
+                    f"{self._packet_counts[output]} != actual "
+                    f"{len(packet_ids)}"
+                )
         for slot in self._lists.free_slots():
-            assert self._slot_packet[slot] is None, (
-                f"free slot {slot} still holds a packet"
-            )
+            if self._slot_packet[slot] is not None:
+                raise InvariantError(f"free slot {slot} still holds a packet")
+        for slot in self._lists.retired_slots():
+            if self._slot_packet[slot] is not None:
+                raise InvariantError(
+                    f"retired slot {slot} still holds a packet"
+                )
 
     def _check_output(self, destination: int) -> None:
         if not 0 <= destination < self.num_outputs:

@@ -12,7 +12,13 @@ from collections import deque
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
-from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    ConfigurationError,
+    FaultError,
+    InvariantError,
+)
 
 __all__ = ["FifoBuffer"]
 
@@ -31,13 +37,14 @@ class FifoBuffer(SwitchBuffer):
 
     def can_accept(self, destination: int, size: int = 1) -> bool:
         self._check_output(destination)
-        return self._used + size <= self.capacity
+        return self._used + size <= self.effective_capacity
 
     def push(self, packet: Packet, destination: int) -> None:
         self._check_output(destination)
-        if self._used + packet.size > self.capacity:
+        if self._used + packet.size > self.effective_capacity:
             raise BufferFullError(
-                f"FIFO buffer full ({self._used}/{self.capacity} slots)"
+                f"FIFO buffer full ({self._used}/{self.effective_capacity} "
+                f"slots)"
             )
         self._queue.append((packet, destination))
         self._used += packet.size
@@ -78,6 +85,15 @@ class FifoBuffer(SwitchBuffer):
             return None
         return self._queue[0][1]
 
+    # -- graceful degradation ----------------------------------------------
+
+    def retire_slot(self) -> None:
+        if self.effective_capacity <= 1:
+            raise FaultError("cannot retire the last usable FIFO slot")
+        if self.free_slots < 1:
+            raise FaultError("no free FIFO slot available to retire")
+        self._retired_slots += 1
+
     # -- inspection --------------------------------------------------------
 
     @property
@@ -86,6 +102,18 @@ class FifoBuffer(SwitchBuffer):
 
     def packets(self) -> list[Packet]:
         return [packet for packet, _ in self._queue]
+
+    def check_invariants(self) -> None:
+        total = sum(packet.size for packet, _ in self._queue)
+        if total != self._used:
+            raise InvariantError(
+                f"FIFO occupancy register {self._used} != queued sizes {total}"
+            )
+        if self._used > self.effective_capacity:
+            raise InvariantError(
+                f"FIFO holds {self._used} slots but only "
+                f"{self.effective_capacity} are in service"
+            )
 
     def _check_output(self, destination: int) -> None:
         if not 0 <= destination < self.num_outputs:

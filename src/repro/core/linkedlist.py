@@ -17,7 +17,13 @@ that behaviour: :meth:`head` of an empty list returns the free-list head.
 
 from __future__ import annotations
 
-from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    ConfigurationError,
+    FaultError,
+    InvariantError,
+)
 
 __all__ = ["SlotListManager", "NO_SLOT"]
 
@@ -65,6 +71,8 @@ class SlotListManager:
         self._free_head = 0
         self._free_tail = num_slots - 1
         self._free_count = num_slots
+        # Slots taken out of service by the fault model: on no list at all.
+        self._retired: set[int] = set()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -80,9 +88,23 @@ class SlotListManager:
         self._check_list(list_id)
         return self._length[list_id]
 
+    @property
+    def retired_count(self) -> int:
+        """Number of slots retired by the fault model."""
+        return len(self._retired)
+
+    @property
+    def usable_slots(self) -> int:
+        """Slots still in service (total minus retired)."""
+        return self.num_slots - len(self._retired)
+
+    def retired_slots(self) -> list[int]:
+        """The retired slots in index order."""
+        return sorted(self._retired)
+
     def occupancy(self) -> int:
         """Total slots in use across all destination lists."""
-        return self.num_slots - self._free_count
+        return self.num_slots - self._free_count - len(self._retired)
 
     def is_empty(self, list_id: int) -> bool:
         """True when list ``list_id`` holds no slot."""
@@ -185,6 +207,83 @@ class SlotListManager:
         self._append_free(slot)
         return slot
 
+    def release_tail(self, list_id: int) -> int:
+        """Pop the *tail* slot of ``list_id`` and return it to the free list.
+
+        This is not a hardware datapath operation: the controller uses it
+        only when a fault is detected while a packet is still being
+        received, to un-claim the slots of the aborted packet (which are by
+        construction the newest — tail — slots of their destination list).
+        """
+        self._check_list(list_id)
+        if self._length[list_id] == 0:
+            raise BufferEmptyError(f"list {list_id} is empty")
+        tail = self._tail[list_id]
+        if self._length[list_id] == 1:
+            self._head[list_id] = NO_SLOT
+            self._tail[list_id] = NO_SLOT
+        else:
+            predecessor = self._head[list_id]
+            while self._next[predecessor] != tail:
+                predecessor = self._next[predecessor]
+            self._next[predecessor] = NO_SLOT
+            self._tail[list_id] = predecessor
+        self._length[list_id] -= 1
+        self._append_free(tail)
+        return tail
+
+    # ------------------------------------------------------------------
+    # Graceful degradation: slot retirement
+    # ------------------------------------------------------------------
+
+    def retire_slot(self, slot: int | None = None) -> int:
+        """Permanently take a *free* slot out of service.
+
+        Models a hard failure of a buffer slot (stuck cells, broken pointer
+        register): the slot is unlinked from the free list and never handed
+        out again, so the pool keeps operating at reduced capacity.  With
+        ``slot=None`` the free-list head is retired.  Returns the retired
+        slot index.  Raises :class:`FaultError` when the slot is not free
+        or when retiring it would leave the pool without usable slots.
+        """
+        if self._free_count == 0:
+            raise FaultError("no free slot available to retire")
+        if self.usable_slots <= 1:
+            raise FaultError("cannot retire the last usable slot")
+        if slot is None:
+            slot = self._free_head
+        else:
+            self._check_slot(slot)
+            if slot in self._retired:
+                raise FaultError(f"slot {slot} is already retired")
+        # Unlink the slot from wherever it sits on the free chain.
+        if slot == self._free_head:
+            self._free_head = self._next[slot]
+        else:
+            predecessor = self._free_head
+            while predecessor != NO_SLOT and self._next[predecessor] != slot:
+                predecessor = self._next[predecessor]
+            if predecessor == NO_SLOT:
+                raise FaultError(f"slot {slot} is not on the free list")
+            self._next[predecessor] = self._next[slot]
+            if slot == self._free_tail:
+                self._free_tail = predecessor
+        self._free_count -= 1
+        if self._free_count == 0:
+            self._free_head = NO_SLOT
+            self._free_tail = NO_SLOT
+        self._next[slot] = NO_SLOT
+        self._retired.add(slot)
+        return slot
+
+    def restore_slot(self, slot: int) -> None:
+        """Return a retired slot to service (appended to the free list)."""
+        self._check_slot(slot)
+        if slot not in self._retired:
+            raise FaultError(f"slot {slot} is not retired")
+        self._retired.remove(slot)
+        self._append_free(slot)
+
     def _append_free(self, slot: int) -> None:
         """Append ``slot`` to the tail of the free list."""
         self._next[slot] = NO_SLOT
@@ -200,36 +299,51 @@ class SlotListManager:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert slot conservation: every slot on exactly one list.
+        """Verify slot conservation: every slot on exactly one list.
 
-        Raises :class:`AssertionError` on corruption.  Exercised heavily by
-        the property-based tests.
+        Raises :class:`InvariantError` on corruption (never a bare
+        ``AssertionError``, so the check fires under ``python -O`` too).
+        Retired slots must appear on *no* list.  Exercised heavily by the
+        property-based tests.
         """
         seen: set[int] = set()
         for list_id in range(self.num_lists):
             chain = self.slots(list_id)
-            assert len(chain) == self._length[list_id], (
-                f"list {list_id}: chain length {len(chain)} != register "
-                f"{self._length[list_id]}"
-            )
+            if len(chain) != self._length[list_id]:
+                raise InvariantError(
+                    f"list {list_id}: chain length {len(chain)} != register "
+                    f"{self._length[list_id]}"
+                )
             if chain:
-                assert self._tail[list_id] == chain[-1], (
-                    f"list {list_id}: tail register does not point at last slot"
-                )
-                assert self._next[chain[-1]] == NO_SLOT, (
-                    f"list {list_id}: last slot pointer register not null"
-                )
+                if self._tail[list_id] != chain[-1]:
+                    raise InvariantError(
+                        f"list {list_id}: tail register does not point at "
+                        f"last slot"
+                    )
+                if self._next[chain[-1]] != NO_SLOT:
+                    raise InvariantError(
+                        f"list {list_id}: last slot pointer register not null"
+                    )
             for slot in chain:
-                assert slot not in seen, f"slot {slot} appears on two lists"
+                if slot in seen:
+                    raise InvariantError(f"slot {slot} appears on two lists")
+                if slot in self._retired:
+                    raise InvariantError(
+                        f"retired slot {slot} appears on list {list_id}"
+                    )
                 seen.add(slot)
         free = self.free_slots()
-        assert len(free) == self._free_count, "free-list length mismatch"
+        if len(free) != self._free_count:
+            raise InvariantError("free-list length mismatch")
         for slot in free:
-            assert slot not in seen, f"slot {slot} both free and allocated"
+            if slot in seen:
+                raise InvariantError(f"slot {slot} both free and allocated")
+            if slot in self._retired:
+                raise InvariantError(f"retired slot {slot} is on the free list")
             seen.add(slot)
-        assert seen == set(range(self.num_slots)), (
-            f"lost slots: {set(range(self.num_slots)) - seen}"
-        )
+        expected = set(range(self.num_slots)) - self._retired
+        if seen != expected:
+            raise InvariantError(f"lost slots: {expected - seen}")
 
     def _check_list(self, list_id: int) -> None:
         if not 0 <= list_id < self.num_lists:

@@ -14,7 +14,13 @@ from collections import deque
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
-from repro.errors import BufferEmptyError, BufferFullError, ConfigurationError
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    ConfigurationError,
+    FaultError,
+    InvariantError,
+)
 
 __all__ = ["SamqBuffer"]
 
@@ -36,19 +42,31 @@ class SamqBuffer(SwitchBuffer):
         self.partition_capacity = capacity // num_outputs
         self._queues: list[deque[Packet]] = [deque() for _ in range(num_outputs)]
         self._used: list[int] = [0] * num_outputs
+        # Slots retired per partition (static partitioning means a failed
+        # slot shrinks exactly one output's share).
+        self._partition_retired: list[int] = [0] * num_outputs
 
     # -- write side ------------------------------------------------------
 
+    def effective_partition_capacity(self, destination: int) -> int:
+        """Slots of one partition still in service after retirement."""
+        self._check_output(destination)
+        return self.partition_capacity - self._partition_retired[destination]
+
     def can_accept(self, destination: int, size: int = 1) -> bool:
         self._check_output(destination)
-        return self._used[destination] + size <= self.partition_capacity
+        return (
+            self._used[destination] + size
+            <= self.effective_partition_capacity(destination)
+        )
 
     def push(self, packet: Packet, destination: int) -> None:
         self._check_output(destination)
-        if self._used[destination] + packet.size > self.partition_capacity:
+        limit = self.effective_partition_capacity(destination)
+        if self._used[destination] + packet.size > limit:
             raise BufferFullError(
                 f"{self.kind} partition for output {destination} full "
-                f"({self._used[destination]}/{self.partition_capacity})"
+                f"({self._used[destination]}/{limit})"
             )
         self._queues[destination].append(packet)
         self._used[destination] += packet.size
@@ -75,6 +93,35 @@ class SamqBuffer(SwitchBuffer):
         self._check_output(destination)
         return len(self._queues[destination])
 
+    # -- graceful degradation ----------------------------------------------
+
+    def retire_slot(self, partition: int | None = None) -> int:
+        """Retire one free slot; returns the partition it came from.
+
+        With ``partition=None`` the slot is taken from the partition with
+        the most slots still in service (ties broken toward the lowest
+        index), spreading hard failures evenly — the statically
+        partitioned hardware cannot reassign a surviving slot to another
+        output, so the failed partition simply shrinks.
+        """
+        if partition is None:
+            partition = max(
+                range(self.num_outputs),
+                key=lambda out: (
+                    self.effective_partition_capacity(out),
+                    -out,
+                ),
+            )
+        self._check_output(partition)
+        remaining = self.effective_partition_capacity(partition)
+        if remaining - self._used[partition] < 1:
+            raise FaultError(
+                f"partition {partition} has no free slot to retire"
+            )
+        self._partition_retired[partition] += 1
+        self._retired_slots += 1
+        return partition
+
     # -- inspection --------------------------------------------------------
 
     @property
@@ -88,6 +135,22 @@ class SamqBuffer(SwitchBuffer):
 
     def packets(self) -> list[Packet]:
         return [packet for queue in self._queues for packet in queue]
+
+    def check_invariants(self) -> None:
+        for destination, queue in enumerate(self._queues):
+            total = sum(packet.size for packet in queue)
+            if total != self._used[destination]:
+                raise InvariantError(
+                    f"{self.kind} partition {destination}: occupancy register "
+                    f"{self._used[destination]} != queued sizes {total}"
+                )
+            limit = self.effective_partition_capacity(destination)
+            if self._used[destination] > limit:
+                raise InvariantError(
+                    f"{self.kind} partition {destination} holds "
+                    f"{self._used[destination]} slots but only {limit} are "
+                    f"in service"
+                )
 
     def _check_output(self, destination: int) -> None:
         if not 0 <= destination < self.num_outputs:

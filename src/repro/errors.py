@@ -45,3 +45,19 @@ class ProtocolError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when a simulation reaches an internally inconsistent state."""
+
+
+class InvariantError(SimulationError):
+    """Raised when a structural self-check finds corrupted state.
+
+    Every ``check_invariants`` method raises this instead of using bare
+    ``assert`` statements, so the checks keep firing under ``python -O``
+    (which strips asserts) and fault-injection campaigns can distinguish
+    *detected* corruption from ordinary simulation failures.
+    """
+
+
+class FaultError(SimulationError):
+    """Raised when the fault-injection machinery itself is misconfigured or
+    graceful degradation cannot proceed (e.g. retiring the last usable
+    buffer slot)."""

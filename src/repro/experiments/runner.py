@@ -6,6 +6,7 @@ from collections.abc import Callable
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    ext_faults,
     ext_radix,
     ext_slotsize,
     ext_validation,
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-slotsize": ext_slotsize.run,
     "ext-validation": ext_validation.run,
     "ext-radix": ext_radix.run,
+    "ext-faults": ext_faults.run,
 }
 
 

@@ -1,0 +1,55 @@
+"""Fault injection, detection, graceful degradation and recovery.
+
+This package is the active side of the robustness story; the passive side
+(the checksum protocol, degrade-mode receive FSMs, and slot retirement)
+lives in :mod:`repro.chip` and :mod:`repro.core` so the models never
+depend on the fault machinery.  The dependency points one way:
+faults → chip/core/network.
+
+* :mod:`repro.faults.injector` — seeded bit flips and stuck-at wires.
+* :mod:`repro.faults.transport` — end-to-end ack/timeout/retransmission.
+* :mod:`repro.faults.campaign` — fault-rate sweeps and delivery metrics.
+"""
+
+from repro.faults.campaign import (
+    BUFFER_KINDS,
+    BufferSweepCell,
+    ChipCampaignResult,
+    run_buffer_sweep,
+    run_chip_campaign,
+)
+from repro.faults.injector import FaultInjector, StuckAtFault
+from repro.faults.transport import (
+    FRAME_MAGIC,
+    FRAME_OVERHEAD,
+    KIND_ACK,
+    KIND_DATA,
+    MAX_FRAME_PAYLOAD,
+    Frame,
+    ReliableChannel,
+    ReliableMessenger,
+    crc8,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "BUFFER_KINDS",
+    "BufferSweepCell",
+    "ChipCampaignResult",
+    "FRAME_MAGIC",
+    "FRAME_OVERHEAD",
+    "FaultInjector",
+    "Frame",
+    "KIND_ACK",
+    "KIND_DATA",
+    "MAX_FRAME_PAYLOAD",
+    "ReliableChannel",
+    "ReliableMessenger",
+    "StuckAtFault",
+    "crc8",
+    "decode_frame",
+    "encode_frame",
+    "run_buffer_sweep",
+    "run_chip_campaign",
+]

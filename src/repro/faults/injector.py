@@ -1,0 +1,145 @@
+"""Seeded fault injectors for the chip model's wires.
+
+A :class:`FaultInjector` attaches to the ``fault`` hook of
+:class:`~repro.chip.wires.Wire` objects and corrupts the bytes driven on
+them, modelling the two physical failure modes of the paper's link wires:
+
+* **transient bit flips** — every bit of every driven byte flips
+  independently with probability ``bit_flip_rate`` (drawn from a seeded
+  :class:`~repro.utils.rng.RandomStream`, so campaigns are reproducible);
+* **stuck-at wires** — a :class:`StuckAtFault` forces one bit of every
+  byte crossing a matching link to a constant, modelling a broken driver
+  or a solder fault.
+
+Start bits and idle cycles are never corrupted (the start line is modelled
+as a separate, assumed-good wire); everything else — header, length, data
+and checksum bytes — is fair game, which is exactly why the protocol
+carries the checksum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.wires import Link, Wire
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomStream
+
+__all__ = ["FaultInjector", "StuckAtFault"]
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """One bit of every matching wire permanently stuck at a constant.
+
+    ``wire_substring`` selects wires by name (e.g. ``"node_0_0.out1"``
+    or a full link name); ``bit`` is the wire index (0 = LSB) and
+    ``value`` the level it is stuck at.
+    """
+
+    wire_substring: str
+    bit: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit <= 7:
+            raise ConfigurationError(f"bit index out of range: {self.bit}")
+        if self.value not in (0, 1):
+            raise ConfigurationError(f"stuck value must be 0 or 1: {self.value}")
+
+    def apply(self, byte: int) -> int:
+        """The byte as it appears on the faulty wire."""
+        if self.value:
+            return byte | (1 << self.bit)
+        return byte & ~(1 << self.bit)
+
+
+class FaultInjector:
+    """Attachable, seeded corruption of wire traffic.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the injector's random stream; two injectors with the
+        same seed corrupt the same bytes of the same wires.
+    bit_flip_rate:
+        Per-bit, per-byte flip probability.  Internally one draw decides
+        whether a byte is hit at all (probability ``1 - (1-p)**8``) and a
+        second picks the bit, so a zero rate draws nothing.
+    stuck_faults:
+        Permanent :class:`StuckAtFault` defects, applied before the
+        transient flips.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        bit_flip_rate: float = 0.0,
+        stuck_faults: tuple[StuckAtFault, ...] = (),
+    ) -> None:
+        if not 0.0 <= bit_flip_rate <= 1.0:
+            raise ConfigurationError(
+                f"bit flip rate out of range: {bit_flip_rate}"
+            )
+        self.seed = seed
+        self.bit_flip_rate = bit_flip_rate
+        self.stuck_faults = tuple(stuck_faults)
+        self._byte_hit_rate = 1.0 - (1.0 - bit_flip_rate) ** 8
+        self._rng = RandomStream(seed, "fault-injector")
+        # Bound methods are re-created per attribute access, so cache one
+        # object for the identity checks in attach/detach.
+        self._hook = self._corrupt
+        self._wires: list[Wire] = []
+        self.bytes_seen = 0
+        self.flips_injected = 0
+        self.stuck_corruptions = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach_wire(self, wire: Wire) -> None:
+        """Install the corruption hook on one wire."""
+        if wire.fault is not None and wire.fault is not self._hook:
+            raise ConfigurationError(
+                f"wire {wire.name!r} already has a fault hook"
+            )
+        wire.fault = self._hook
+        self._wires.append(wire)
+
+    def attach(self, links: list[Link]) -> int:
+        """Install the hook on every link's data wire; return the count."""
+        for link in links:
+            self.attach_wire(link.data)
+        return len(links)
+
+    def detach(self) -> None:
+        """Remove the hook from every attached wire."""
+        for wire in self._wires:
+            if wire.fault is self._hook:
+                wire.fault = None
+        self._wires.clear()
+
+    # ------------------------------------------------------------------
+    # Corruption
+    # ------------------------------------------------------------------
+
+    def _corrupt(self, wire_name: str, value: int) -> int:
+        self.bytes_seen += 1
+        for fault in self.stuck_faults:
+            if fault.wire_substring in wire_name:
+                forced = fault.apply(value)
+                if forced != value:
+                    self.stuck_corruptions += 1
+                value = forced
+        if self._byte_hit_rate and self._rng.bernoulli(self._byte_hit_rate):
+            value ^= 1 << self._rng.randint(0, 8)
+            self.flips_injected += 1
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector(seed={self.seed}, "
+            f"bit_flip_rate={self.bit_flip_rate}, "
+            f"flips={self.flips_injected})"
+        )

@@ -1,0 +1,372 @@
+"""End-to-end reliable transport over ComCoBB virtual circuits.
+
+The chip's link checksum detects and discards corrupt packets, but
+detection alone loses data.  Recovery is end-to-end (the classic argument:
+only the hosts know what "all the data arrived" means): every application
+message is wrapped in a small frame carrying a CRC and a sequence number,
+the receiver acknowledges each frame, and the sender retransmits on
+timeout with exponential backoff.
+
+Frame format (prepended to the payload, all single bytes)::
+
+    MAGIC  kind  src  dst  seq  crc8   payload...
+
+``src``/``dst`` are host-level addresses (campaign node indices), ``seq``
+counts messages per (src, dst) flow modulo 256, and ``crc8`` covers the
+whole frame with the CRC field zeroed.  ACK frames carry the sequence
+number they acknowledge and an empty payload.
+
+:class:`ReliableChannel` is one unidirectional flow's send state;
+:class:`ReliableMessenger` is a node's endpoint: it owns one channel per
+peer, dedupes received frames, and emits fire-and-forget ACKs on the
+reverse circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chip.network import ChipNetwork, Circuit
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_OVERHEAD",
+    "KIND_ACK",
+    "KIND_DATA",
+    "MAX_FRAME_PAYLOAD",
+    "Frame",
+    "ReliableChannel",
+    "ReliableMessenger",
+    "crc8",
+    "decode_frame",
+    "encode_frame",
+]
+
+FRAME_MAGIC = 0xA5
+KIND_DATA = 0
+KIND_ACK = 1
+#: Frame bytes before the payload: magic, kind, src, dst, seq, crc.
+FRAME_OVERHEAD = 6
+#: Largest payload that keeps the whole message (frame + the host layer's
+#: two-byte length prefix) inside one 32-byte packet.  Single-packet
+#: messages are an intentional design point: a packet dropped by fault
+#: containment then loses exactly one message, never a fragment that
+#: desynchronizes a multi-packet reassembly.
+MAX_FRAME_PAYLOAD = 32 - 2 - FRAME_OVERHEAD
+
+
+def crc8(data: bytes, polynomial: int = 0x07) -> int:
+    """CRC-8 (ATM HEC polynomial x^8+x^2+x+1 by default), MSB first."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ polynomial) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One transport frame (DATA or ACK)."""
+
+    kind: int
+    src: int
+    dst: int
+    seq: int
+    payload: bytes = b""
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame, computing its CRC."""
+    if frame.kind not in (KIND_DATA, KIND_ACK):
+        raise ConfigurationError(f"unknown frame kind: {frame.kind}")
+    for name, value in (
+        ("src", frame.src),
+        ("dst", frame.dst),
+        ("seq", frame.seq),
+    ):
+        if not 0 <= value <= 255:
+            raise ConfigurationError(f"frame {name} out of range: {value}")
+    if len(frame.payload) > MAX_FRAME_PAYLOAD:
+        raise ConfigurationError(
+            f"payload of {len(frame.payload)} bytes exceeds the "
+            f"single-packet limit of {MAX_FRAME_PAYLOAD}"
+        )
+    head = bytearray(
+        [FRAME_MAGIC, frame.kind, frame.src, frame.dst, frame.seq, 0]
+    )
+    body = bytes(head) + frame.payload
+    head[5] = crc8(body)
+    return bytes(head) + frame.payload
+
+
+def decode_frame(data: bytes) -> Frame | None:
+    """Parse and verify a frame; ``None`` when it is not a valid frame."""
+    if len(data) < FRAME_OVERHEAD or data[0] != FRAME_MAGIC:
+        return None
+    if data[1] not in (KIND_DATA, KIND_ACK):
+        return None
+    zeroed = bytes(data[:5]) + b"\x00" + bytes(data[FRAME_OVERHEAD:])
+    if crc8(zeroed) != data[5]:
+        return None
+    return Frame(
+        kind=data[1],
+        src=data[2],
+        dst=data[3],
+        seq=data[4],
+        payload=bytes(data[FRAME_OVERHEAD:]),
+    )
+
+
+@dataclass
+class _Pending:
+    """One unacknowledged DATA frame."""
+
+    seq: int
+    wire_frame: bytes
+    attempts: int
+    next_retry_cycle: int
+
+
+class ReliableChannel:
+    """Send state of one unidirectional (src → dst) flow.
+
+    The channel hands serialized frames to ``transmit`` (which queues them
+    on the circuit) and retransmits unacknowledged ones on a timeout that
+    doubles per attempt up to ``base_timeout * backoff_cap``.  A frame
+    that exhausts ``max_attempts`` is recorded in :attr:`failed` — the
+    graceful-degradation contract is "deliver or say so", never hang.
+    """
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        transmit: Callable[[bytes], None],
+        base_timeout: int = 400,
+        backoff_cap: int = 8,
+        max_attempts: int = 12,
+    ) -> None:
+        if base_timeout < 1 or backoff_cap < 1 or max_attempts < 1:
+            raise ConfigurationError("timeout parameters must be positive")
+        self.src = src
+        self.dst = dst
+        self.transmit = transmit
+        self.base_timeout = base_timeout
+        self.backoff_cap = backoff_cap
+        self.max_attempts = max_attempts
+        self._next_seq = 0
+        self._pending: dict[int, _Pending] = {}
+        self.retransmissions = 0
+        self.acked = 0
+        self.failed: list[int] = []
+
+    @property
+    def inflight(self) -> int:
+        """Unacknowledged frames still being retried."""
+        return len(self._pending)
+
+    def _timeout(self, attempts: int) -> int:
+        return self.base_timeout * min(2 ** (attempts - 1), self.backoff_cap)
+
+    def send(self, payload: bytes, cycle: int) -> int:
+        """Transmit a DATA frame and arm its retransmission timer."""
+        seq = self._next_seq
+        if seq > 255:
+            raise ProtocolError(
+                f"flow {self.src}->{self.dst} exhausted its sequence space"
+            )
+        self._next_seq += 1
+        wire_frame = encode_frame(
+            Frame(KIND_DATA, self.src, self.dst, seq, payload)
+        )
+        self._pending[seq] = _Pending(
+            seq=seq,
+            wire_frame=wire_frame,
+            attempts=1,
+            next_retry_cycle=cycle + self._timeout(1),
+        )
+        self.transmit(wire_frame)
+        return seq
+
+    def acknowledge(self, seq: int) -> None:
+        """Process an incoming ACK (unknown seqs are stale duplicates)."""
+        if self._pending.pop(seq, None) is not None:
+            self.acked += 1
+
+    def tick(self, cycle: int) -> None:
+        """Retransmit every pending frame whose timer expired."""
+        for pending in list(self._pending.values()):
+            if cycle < pending.next_retry_cycle:
+                continue
+            if pending.attempts >= self.max_attempts:
+                del self._pending[pending.seq]
+                self.failed.append(pending.seq)
+                continue
+            pending.attempts += 1
+            pending.next_retry_cycle = cycle + self._timeout(pending.attempts)
+            self.retransmissions += 1
+            self.transmit(pending.wire_frame)
+
+
+@dataclass
+class _MessengerStats:
+    """Per-endpoint transport counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    duplicates_dropped: int = 0
+    acks_sent: int = 0
+    undecodable_frames: int = 0
+    misrouted_frames: int = 0
+
+
+class ReliableMessenger:
+    """A node's end-to-end transport endpoint.
+
+    One messenger sits on each :class:`~repro.chip.network.Node`'s host
+    adapter.  ``connect`` registers a peer with the circuit leading to it
+    (the reverse circuit is registered by the peer's own ``connect``);
+    :meth:`send` queues a message; :meth:`tick` must be called once per
+    network cycle to pump received frames, emit ACKs, and drive the
+    retransmission timers.
+    """
+
+    def __init__(
+        self,
+        network: ChipNetwork,
+        node_name: str,
+        address: int,
+        base_timeout: int = 400,
+        backoff_cap: int = 8,
+        max_attempts: int = 12,
+        stale_assembly_age: int = 1200,
+    ) -> None:
+        if node_name not in network.nodes:
+            raise ConfigurationError(f"unknown node {node_name!r}")
+        if not 0 <= address <= 255:
+            raise ConfigurationError(f"address out of range: {address}")
+        self.network = network
+        self.node = network.nodes[node_name]
+        self.address = address
+        self.base_timeout = base_timeout
+        self.backoff_cap = backoff_cap
+        self.max_attempts = max_attempts
+        self.stale_assembly_age = stale_assembly_age
+        self._circuits: dict[int, Circuit] = {}
+        self._channels: dict[int, ReliableChannel] = {}
+        #: Sequence numbers already delivered, per peer (dedupe window).
+        self._seen: dict[int, set[int]] = {}
+        #: (peer address, payload) pairs in arrival order.
+        self.delivered: list[tuple[int, bytes]] = []
+        self._rx_cursor = 0
+        self.stats = _MessengerStats()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def connect(self, peer: int, circuit: Circuit) -> None:
+        """Register the circuit that reaches ``peer``."""
+        if circuit.source != self.node.name:
+            raise ConfigurationError(
+                f"circuit starts at {circuit.source!r}, not this node"
+            )
+        self._circuits[peer] = circuit
+
+    def _channel(self, peer: int) -> ReliableChannel:
+        if peer not in self._circuits:
+            raise ConfigurationError(f"no circuit to peer {peer}")
+        if peer not in self._channels:
+            circuit = self._circuits[peer]
+            self._channels[peer] = ReliableChannel(
+                src=self.address,
+                dst=peer,
+                transmit=lambda data, c=circuit: self.network.send(c, data),
+                base_timeout=self.base_timeout,
+                backoff_cap=self.backoff_cap,
+                max_attempts=self.max_attempts,
+            )
+        return self._channels[peer]
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, peer: int, payload: bytes) -> int:
+        """Queue a reliable message to a connected peer; return its seq."""
+        seq = self._channel(peer).send(payload, self.network.cycle)
+        self.stats.messages_sent += 1
+        return seq
+
+    @property
+    def inflight(self) -> int:
+        """Messages sent but neither acknowledged nor failed."""
+        return sum(channel.inflight for channel in self._channels.values())
+
+    @property
+    def failed(self) -> list[tuple[int, int]]:
+        """(peer, seq) pairs that exhausted their retransmission budget."""
+        return [
+            (peer, seq)
+            for peer, channel in self._channels.items()
+            for seq in channel.failed
+        ]
+
+    @property
+    def retransmissions(self) -> int:
+        """Total retransmitted frames across all flows."""
+        return sum(c.retransmissions for c in self._channels.values())
+
+    # ------------------------------------------------------------------
+    # Receiving / timers
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Pump received frames, send ACKs, run retransmission timers."""
+        messages = self.node.host.received_messages
+        while self._rx_cursor < len(messages):
+            received = messages[self._rx_cursor]
+            self._rx_cursor += 1
+            frame = decode_frame(received.payload)
+            if frame is None:
+                # A poisoned or misassembled message; the sender's timer
+                # will recover it.
+                self.stats.undecodable_frames += 1
+                continue
+            if frame.dst != self.address:
+                # A corrupted header relabeled the packet onto another
+                # valid circuit; the CRC survived but it is not ours.
+                self.stats.misrouted_frames += 1
+                continue
+            if frame.kind == KIND_ACK:
+                channel = self._channels.get(frame.src)
+                if channel is not None:
+                    channel.acknowledge(frame.seq)
+                continue
+            self._receive_data(frame)
+        for channel in self._channels.values():
+            channel.tick(cycle)
+        self.node.host.flush_stale_assemblies(cycle, self.stale_assembly_age)
+
+    def _receive_data(self, frame: Frame) -> None:
+        seen = self._seen.setdefault(frame.src, set())
+        if frame.seq not in seen:
+            seen.add(frame.seq)
+            self.delivered.append((frame.src, frame.payload))
+            self.stats.messages_delivered += 1
+        else:
+            self.stats.duplicates_dropped += 1
+        # Acknowledge every receipt (the first ACK may have been lost);
+        # ACKs are fire-and-forget — a lost ACK just costs a duplicate.
+        if frame.src in self._circuits:
+            ack = encode_frame(
+                Frame(KIND_ACK, self.address, frame.src, frame.seq)
+            )
+            self.network.send(self._circuits[frame.src], ack)
+            self.stats.acks_sent += 1

@@ -20,6 +20,8 @@ class Meters:
     injected: int = 0
     delivered: int = 0
     discarded: int = 0
+    #: Packets destroyed by injected link faults (fault campaigns only).
+    lost: int = 0
     #: Latency from packet creation to delivery, clock cycles.
     latency: OnlineStats = field(default_factory=OnlineStats)
     #: Latency from injection into stage 0 to delivery, clock cycles.
@@ -49,6 +51,13 @@ class Meters:
         if self.generated == 0:
             return math.nan
         return self.discarded / self.generated
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of generated packets destroyed by injected faults."""
+        if self.generated == 0:
+            return math.nan
+        return self.lost / self.generated
 
 
 @dataclass

@@ -91,6 +91,15 @@ class NetworkConfig:
     #: one-slot packets this is exactly the paper's synchronized model, so
     #: the flag changes nothing for the paper's own experiments.
     serialize_links: bool = False
+    #: Fault injection: probability that a packet is destroyed on each
+    #: link crossing (counted in ``Meters.lost``).  0.0 — the default for
+    #: every paper experiment — draws nothing from the RNG, so results
+    #: are bit-identical to a build without fault support.
+    packet_loss_rate: float = 0.0
+    #: Fault injection: hard-failed slots removed from every input buffer
+    #: before the run, exercising graceful degradation at reduced
+    #: capacity.  0 leaves the buffers untouched.
+    retired_slots_per_buffer: int = 0
 
     def with_overrides(self, **kwargs) -> "NetworkConfig":
         """A copy of this config with some fields replaced."""
@@ -114,6 +123,12 @@ class OmegaNetworkSimulator:
                 f"unknown flow-control fidelity "
                 f"{config.flow_control_fidelity!r}"
             )
+        if not 0.0 <= config.packet_loss_rate <= 1.0:
+            raise ConfigurationError(
+                f"packet loss rate out of range: {config.packet_loss_rate}"
+            )
+        if config.retired_slots_per_buffer < 0:
+            raise ConfigurationError("retired_slots_per_buffer must be >= 0")
         self.config = config
         self.topology = OmegaTopology(config.num_ports, config.radix)
         self.pattern: TrafficPattern = make_traffic(
@@ -140,6 +155,16 @@ class OmegaNetworkSimulator:
                 )
                 next_id += 1
             self.switches.append(row)
+        if config.retired_slots_per_buffer:
+            for row in self.switches:
+                for switch in row:
+                    for buffer in switch.buffers:
+                        buffer.retire_slots(config.retired_slots_per_buffer)
+        # The loss stream is only spawned when faults are active, keeping
+        # zero-fault runs bit-identical to a build without fault support.
+        self._loss_rng = (
+            root.spawn("link-loss") if config.packet_loss_rate > 0.0 else None
+        )
         discarding = config.protocol is Protocol.DISCARDING
         queue_capacity = (
             0
@@ -270,10 +295,22 @@ class OmegaNetworkSimulator:
             else:
                 self._forward(stage, index, grant.output_port, packet)
 
+    def _link_fault_destroys(self, packet: Packet) -> bool:
+        """Fault injection: whether this link crossing loses the packet."""
+        if self._loss_rng is None:
+            return False
+        if self._loss_rng.bernoulli(self.config.packet_loss_rate):
+            if self._in_measurement(packet):
+                self.meters.lost += 1
+            return True
+        return False
+
     def _forward(
         self, stage: int, index: int, output_port: int, packet: Packet
     ) -> None:
         """Move a packet across one inter-stage link."""
+        if self._link_fault_destroys(packet):
+            return
         link = self._downstream[stage][index][output_port]
         packet.advance_hop()
         next_output = packet.output_port_at_current_hop()
@@ -288,6 +325,8 @@ class OmegaNetworkSimulator:
 
     def _deliver(self, index: int, output_port: int, packet: Packet) -> None:
         """Hand a packet leaving the last stage to its memory sink."""
+        if self._link_fault_destroys(packet):
+            return
         port = self.topology.exit_link(index, output_port)
         sink = self.sinks[port]
         sink.deliver(packet, self.cycle)

@@ -9,10 +9,15 @@ defences actually fire — guarding against silently-passing checks.
 import pytest
 
 from repro.chip import ChipNetwork, ComCoBBChip
-from repro.core import DamqBuffer, SlotListManager
+from repro.core import DamqBuffer, FifoBuffer, SafcBuffer, SlotListManager
 from repro.core.linkedlist import NO_SLOT
 from repro.core.packet import Packet, PacketFactory
-from repro.errors import ProtocolError, RoutingError, SimulationError
+from repro.errors import (
+    InvariantError,
+    ProtocolError,
+    RoutingError,
+    SimulationError,
+)
 
 
 class TestLinkedListCorruptionDetected:
@@ -22,14 +27,14 @@ class TestLinkedListCorruptionDetected:
         manager.allocate(0)
         # Sever the chain: the first slot no longer points at the second.
         manager._next[manager._head[0]] = NO_SLOT
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantError):
             manager.check_invariants()
 
     def test_length_register_corruption(self):
         manager = SlotListManager(num_slots=4, num_lists=2)
         manager.allocate(1)
         manager._length[1] = 2  # claims two slots, chain has one
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantError):
             manager.check_invariants()
 
     def test_slot_on_two_lists(self):
@@ -39,8 +44,23 @@ class TestLinkedListCorruptionDetected:
         manager._head[1] = manager._head[0]
         manager._tail[1] = manager._head[0]
         manager._length[1] = 1
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantError):
             manager.check_invariants()
+
+    def test_retired_slot_resurrected_on_a_list(self):
+        manager = SlotListManager(num_slots=4, num_lists=2)
+        retired = manager.retire_slot()
+        # Corruption: the dead slot reappears as a one-slot queue.
+        manager._head[0] = retired
+        manager._tail[0] = retired
+        manager._length[0] = 1
+        manager._next[retired] = NO_SLOT
+        with pytest.raises(InvariantError):
+            manager.check_invariants()
+
+    def test_invariant_error_is_a_simulation_error(self):
+        """The new exception slots into the existing hierarchy."""
+        assert issubclass(InvariantError, SimulationError)
 
 
 class TestDamqBufferCorruptionDetected:
@@ -48,7 +68,7 @@ class TestDamqBufferCorruptionDetected:
         buffer = DamqBuffer(capacity=4, num_outputs=2)
         buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
         buffer._packet_counts[0] = 2  # cache no longer matches the list
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantError):
             buffer.check_invariants()
 
     def test_phantom_packet_slot(self):
@@ -56,7 +76,45 @@ class TestDamqBufferCorruptionDetected:
         buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
         slot = buffer._lists.head(0)
         buffer._slot_packet[slot] = None  # data RAM lost the packet
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantError):
+            buffer.check_invariants()
+
+
+class TestFifoBufferCorruptionDetected:
+    def test_used_counter_drift(self):
+        buffer = FifoBuffer(capacity=4, num_outputs=2)
+        buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
+        buffer._used = 3  # counter no longer matches the queue contents
+        with pytest.raises(InvariantError):
+            buffer.check_invariants()
+
+    def test_occupancy_beyond_effective_capacity(self):
+        buffer = FifoBuffer(capacity=2, num_outputs=2)
+        buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
+        buffer.push(Packet(packet_id=2, source=0, destination=1), 1)
+        # A hard fault retires a slot out from under a full queue.
+        buffer._retired_slots = 1
+        with pytest.raises(InvariantError):
+            buffer.check_invariants()
+
+
+class TestSafcBufferCorruptionDetected:
+    def test_partition_occupancy_drift(self):
+        buffer = SafcBuffer(capacity=4, num_outputs=2)
+        buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
+        buffer._used[0] = 2  # occupancy register disagrees with the queue
+        with pytest.raises(InvariantError):
+            buffer.check_invariants()
+
+    def test_partition_overflow(self):
+        buffer = SafcBuffer(capacity=4, num_outputs=2)
+        buffer.push(Packet(packet_id=1, source=0, destination=0), 0)
+        buffer.push(Packet(packet_id=2, source=0, destination=0), 0)
+        # Corruption: retirement bookkeeping claims a slot this full
+        # partition never had.
+        buffer._partition_retired[0] = 1
+        buffer._retired_slots = 1
+        with pytest.raises(InvariantError):
             buffer.check_invariants()
 
 

@@ -1,0 +1,232 @@
+"""Property-based tests for slot retirement under random interleavings.
+
+Graceful degradation must preserve every structural invariant no matter
+when hard faults strike: these tests interleave allocate / release /
+retire / restore operations arbitrarily and check slot conservation
+(free + listed + retired == total), that retired slots never reappear on
+any list, and that a reference model built on plain sets and deques
+agrees about which slots are alive.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DamqBuffer, FifoBuffer, SafcBuffer, SamqBuffer
+from repro.core.linkedlist import SlotListManager
+from repro.core.packet import Packet
+from repro.errors import (
+    BufferEmptyError,
+    BufferFullError,
+    FaultError,
+    InvariantError,
+)
+
+NUM_LISTS = 3
+NUM_SLOTS = 8
+
+#: An operation: (op, list_id).  ``retire``/``restore`` ignore list_id.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "release", "retire", "restore"]),
+        st.integers(min_value=0, max_value=NUM_LISTS - 1),
+    ),
+    max_size=80,
+)
+
+
+class ReferenceRetirement:
+    """Trivially correct model of the pool with retirement."""
+
+    def __init__(self) -> None:
+        self.free = deque(range(NUM_SLOTS))
+        self.lists = [deque() for _ in range(NUM_LISTS)]
+        self.retired: list[int] = []
+
+    @property
+    def usable(self) -> int:
+        return NUM_SLOTS - len(self.retired)
+
+    def alloc(self, list_id):
+        slot = self.free.popleft()
+        self.lists[list_id].append(slot)
+        return slot
+
+    def release(self, list_id):
+        slot = self.lists[list_id].popleft()
+        self.free.append(slot)
+        return slot
+
+    def retire(self):
+        slot = self.free.popleft()
+        self.retired.append(slot)
+        return slot
+
+    def restore(self):
+        slot = self.retired.pop()
+        self.free.append(slot)
+        return slot
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_matches_reference_model_with_retirement(ops):
+    manager = SlotListManager(NUM_SLOTS, NUM_LISTS)
+    reference = ReferenceRetirement()
+    for op, list_id in ops:
+        if op == "alloc":
+            if reference.free:
+                assert manager.allocate(list_id) == reference.alloc(list_id)
+            else:
+                try:
+                    manager.allocate(list_id)
+                    raise AssertionError("expected BufferFullError")
+                except BufferFullError:
+                    pass
+        elif op == "release":
+            if reference.lists[list_id]:
+                assert manager.release_head(list_id) == reference.release(
+                    list_id
+                )
+            else:
+                try:
+                    manager.release_head(list_id)
+                    raise AssertionError("expected BufferEmptyError")
+                except BufferEmptyError:
+                    pass
+        elif op == "retire":
+            # The implementation retires the free-list head, like the
+            # reference; it must refuse only when no free slot exists or
+            # the pool would be left with a single usable slot.
+            if reference.free and reference.usable > 1:
+                assert manager.retire_slot() == reference.retire()
+            else:
+                try:
+                    manager.retire_slot()
+                    raise AssertionError("expected FaultError")
+                except FaultError:
+                    pass
+        else:  # restore
+            if reference.retired:
+                slot = reference.retired[-1]
+                manager.restore_slot(slot)
+                assert reference.restore() == slot
+            else:
+                pass  # nothing to restore
+        # Structural invariants hold after every single operation.
+        manager.check_invariants()
+        for list_id2 in range(NUM_LISTS):
+            assert manager.slots(list_id2) == list(reference.lists[list_id2])
+        assert set(manager.retired_slots()) == set(reference.retired)
+        assert manager.usable_slots == reference.usable
+
+
+@given(operations)
+@settings(max_examples=100)
+def test_slot_conservation_with_retirement(ops):
+    manager = SlotListManager(NUM_SLOTS, NUM_LISTS)
+    for op, list_id in ops:
+        try:
+            if op == "alloc":
+                manager.allocate(list_id)
+            elif op == "release":
+                manager.release_head(list_id)
+            elif op == "retire":
+                manager.retire_slot()
+            else:
+                retired = manager.retired_slots()
+                if retired:
+                    manager.restore_slot(retired[0])
+        except (BufferFullError, BufferEmptyError, FaultError):
+            continue
+    listed = sum(manager.length(list_id) for list_id in range(NUM_LISTS))
+    assert (
+        manager.free_count + listed + manager.retired_count == NUM_SLOTS
+    )
+    # Retired slots never appear on any list or the free list.
+    on_lists = {
+        slot
+        for list_id in range(NUM_LISTS)
+        for slot in manager.slots(list_id)
+    }
+    assert not on_lists & set(manager.retired_slots())
+    assert not set(manager.free_slots()) & set(manager.retired_slots())
+
+
+#: Buffer-level operations: (op, destination).
+buffer_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop", "retire"]),
+        st.integers(min_value=0, max_value=1),
+    ),
+    max_size=60,
+)
+
+
+@given(buffer_operations, st.sampled_from(["fifo", "samq", "safc", "damq"]))
+@settings(max_examples=150)
+def test_buffers_stay_consistent_under_retirement(ops, kind):
+    cls = {
+        "fifo": FifoBuffer,
+        "samq": SamqBuffer,
+        "safc": SafcBuffer,
+        "damq": DamqBuffer,
+    }[kind]
+    buffer = cls(capacity=6, num_outputs=2)
+    next_id = 0
+    for op, destination in ops:
+        if op == "push":
+            packet = Packet(
+                packet_id=next_id, source=0, destination=destination
+            )
+            if buffer.can_accept(destination, packet.size):
+                buffer.push(packet, destination)
+                next_id += 1
+        elif op == "pop":
+            if buffer.peek(destination) is not None:
+                buffer.pop(destination)
+        else:  # retire
+            try:
+                buffer.retire_slot()
+            except FaultError:
+                pass  # nothing retirable right now - legal refusal
+        # The structural self-check must pass after every operation, and
+        # the books must balance.
+        buffer.check_invariants()
+        assert buffer.occupancy + buffer.free_slots == (
+            buffer.effective_capacity
+        )
+        assert 0 <= buffer.retired_count <= buffer.capacity
+        assert buffer.occupancy <= buffer.effective_capacity
+
+
+@given(st.integers(min_value=0, max_value=4))
+def test_retirement_reduces_capacity_exactly(count):
+    buffer = DamqBuffer(capacity=6, num_outputs=2)
+    buffer.retire_slots(count)
+    assert buffer.retired_count == count
+    assert buffer.effective_capacity == 6 - count
+    # The remaining capacity is fully usable.
+    accepted = 0
+    while buffer.can_accept(0, 1):
+        buffer.push(Packet(packet_id=accepted, source=0, destination=0), 0)
+        accepted += 1
+    assert accepted == 6 - count
+    with_room = buffer.can_accept(0, 1)
+    assert not with_room
+    buffer.check_invariants()
+
+
+def test_corrupting_retired_bookkeeping_is_detected():
+    """Retirement state participates in the invariant checks."""
+    manager = SlotListManager(NUM_SLOTS, NUM_LISTS)
+    manager.retire_slot()
+    # Corruption: a slot still on the free list is also marked retired.
+    manager._retired.add(manager.free_slots()[0])
+    try:
+        manager.check_invariants()
+    except InvariantError:
+        pass
+    else:
+        raise AssertionError("expected InvariantError")

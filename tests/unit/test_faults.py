@@ -1,0 +1,318 @@
+"""Unit tests for the fault-injection subsystem (`repro.faults`)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chip.wires import Link, Wire, xor_checksum
+from repro.errors import ConfigurationError, ProtocolError
+from repro.faults import (
+    FRAME_OVERHEAD,
+    KIND_ACK,
+    KIND_DATA,
+    MAX_FRAME_PAYLOAD,
+    FaultInjector,
+    Frame,
+    ReliableChannel,
+    StuckAtFault,
+    crc8,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestChecksums:
+    def test_xor_checksum_of_nothing_is_zero(self):
+        assert xor_checksum([]) == 0
+
+    def test_xor_checksum_self_cancels(self):
+        assert xor_checksum([0x5A, 0x5A]) == 0
+
+    def test_xor_checksum_masks_to_a_byte(self):
+        assert xor_checksum([0x1FF]) == 0xFF
+
+    def test_crc8_empty_is_zero(self):
+        assert crc8(b"") == 0
+
+    def test_crc8_detects_any_single_bit_error(self):
+        data = bytes(range(20))
+        reference = crc8(data)
+        for index in range(len(data)):
+            for bit in range(8):
+                corrupted = bytearray(data)
+                corrupted[index] ^= 1 << bit
+                assert crc8(bytes(corrupted)) != reference
+
+    def test_crc8_is_a_byte(self):
+        for sample in (b"", b"\x00" * 64, bytes(range(256))):
+            assert 0 <= crc8(sample) <= 255
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        frame = Frame(KIND_DATA, src=3, dst=9, seq=42, payload=b"hello")
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_ack_roundtrip_has_empty_payload(self):
+        frame = Frame(KIND_ACK, src=1, dst=2, seq=200)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert decoded.payload == b""
+
+    def test_every_single_bit_corruption_is_rejected_or_differs(self):
+        wire = encode_frame(Frame(KIND_DATA, 0, 1, 7, b"payload"))
+        for index in range(len(wire)):
+            for bit in range(8):
+                corrupted = bytearray(wire)
+                corrupted[index] ^= 1 << bit
+                decoded = decode_frame(bytes(corrupted))
+                # CRC-8 catches all single-bit errors.
+                assert decoded is None
+
+    def test_truncated_frame_is_rejected(self):
+        wire = encode_frame(Frame(KIND_DATA, 0, 1, 0, b"xyz"))
+        assert decode_frame(wire[: FRAME_OVERHEAD - 1]) is None
+        assert decode_frame(wire[:-1]) is None
+
+    def test_not_a_frame_is_rejected(self):
+        assert decode_frame(b"") is None
+        assert decode_frame(b"arbitrary host bytes") is None
+
+    def test_payload_size_limit_enforced(self):
+        with pytest.raises(ConfigurationError):
+            encode_frame(
+                Frame(KIND_DATA, 0, 1, 0, b"x" * (MAX_FRAME_PAYLOAD + 1))
+            )
+
+    def test_address_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            encode_frame(Frame(KIND_DATA, 256, 0, 0))
+        with pytest.raises(ConfigurationError):
+            encode_frame(Frame(KIND_DATA, 0, 0, 999))
+
+    def test_unknown_kind_rejected_both_ways(self):
+        with pytest.raises(ConfigurationError):
+            encode_frame(Frame(7, 0, 1, 0))
+        wire = bytearray(encode_frame(Frame(KIND_DATA, 0, 1, 0)))
+        wire[1] = 7  # invalid kind on the wire
+        assert decode_frame(bytes(wire)) is None
+
+
+class TestStuckAtFault:
+    def test_stuck_at_one_sets_the_bit(self):
+        fault = StuckAtFault("link", bit=3, value=1)
+        assert fault.apply(0x00) == 0x08
+        assert fault.apply(0xFF) == 0xFF
+
+    def test_stuck_at_zero_clears_the_bit(self):
+        fault = StuckAtFault("link", bit=0, value=0)
+        assert fault.apply(0xFF) == 0xFE
+        assert fault.apply(0x00) == 0x00
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StuckAtFault("link", bit=8, value=1)
+        with pytest.raises(ConfigurationError):
+            StuckAtFault("link", bit=0, value=2)
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_corrupts(self):
+        injector = FaultInjector(seed=1, bit_flip_rate=0.0)
+        wire = Wire("w")
+        injector.attach_wire(wire)
+        for byte in range(256):
+            wire.drive(byte)
+            assert wire.sample() == byte
+            wire.end_cycle()
+        assert injector.flips_injected == 0
+        assert injector.bytes_seen == 256
+
+    def test_same_seed_same_corruption(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed, bit_flip_rate=0.05)
+            wire = Wire("w")
+            injector.attach_wire(wire)
+            observed = []
+            for byte in range(500):
+                wire.drive(byte % 256)
+                observed.append(wire.sample())
+                wire.end_cycle()
+            return observed, injector.flips_injected
+
+        first, flips_first = run(99)
+        second, flips_second = run(99)
+        assert first == second
+        assert flips_first == flips_second > 0
+        different, _ = run(100)
+        assert different != first
+
+    def test_every_flip_is_exactly_one_bit(self):
+        injector = FaultInjector(seed=7, bit_flip_rate=0.2)
+        wire = Wire("w")
+        injector.attach_wire(wire)
+        for _ in range(300):
+            wire.drive(0x00)
+            sampled = wire.sample()
+            assert bin(sampled).count("1") in (0, 1)
+            wire.end_cycle()
+        assert injector.flips_injected > 0
+
+    def test_stuck_fault_applies_only_to_matching_wires(self):
+        injector = FaultInjector(
+            seed=1, stuck_faults=(StuckAtFault("victim", bit=0, value=1),)
+        )
+        victim, bystander = Wire("victim.data"), Wire("healthy.data")
+        injector.attach_wire(victim)
+        injector.attach_wire(bystander)
+        victim.drive(0x00)
+        bystander.drive(0x00)
+        assert victim.sample() == 0x01
+        assert bystander.sample() == 0x00
+        assert injector.stuck_corruptions == 1
+
+    def test_start_bits_and_idle_are_never_corrupted(self):
+        from repro.chip.wires import START
+
+        injector = FaultInjector(seed=1, bit_flip_rate=1.0)
+        wire = Wire("w")
+        injector.attach_wire(wire)
+        wire.drive(START)
+        assert wire.sample() is START
+        wire.end_cycle()
+        wire.drive(None)
+        assert wire.sample() is None
+        assert injector.bytes_seen == 0
+
+    def test_attach_links_and_detach(self):
+        injector = FaultInjector(seed=1, bit_flip_rate=1.0)
+        links = [Link("a"), Link("b")]
+        assert injector.attach(links) == 2
+        links[0].data.drive(0x00)
+        assert links[0].data.sample() != 0x00  # rate 1.0 always flips
+        injector.detach()
+        for link in links:
+            assert link.data.fault is None
+        links[1].data.drive(0x42)
+        assert links[1].data.sample() == 0x42
+
+    def test_refuses_to_stack_on_foreign_hook(self):
+        wire = Wire("w")
+        wire.fault = lambda name, value: value
+        injector = FaultInjector(seed=1)
+        with pytest.raises(ConfigurationError):
+            injector.attach_wire(wire)
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(seed=1, bit_flip_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(seed=1, bit_flip_rate=-0.1)
+
+
+class TestReliableChannel:
+    def _channel(self, **overrides):
+        sent = []
+        defaults = dict(base_timeout=100, backoff_cap=4, max_attempts=3)
+        defaults.update(overrides)
+        channel = ReliableChannel(
+            src=0, dst=1, transmit=sent.append, **defaults
+        )
+        return channel, sent
+
+    def test_send_transmits_immediately(self):
+        channel, sent = self._channel()
+        seq = channel.send(b"data", cycle=0)
+        assert seq == 0
+        assert len(sent) == 1
+        assert decode_frame(sent[0]).payload == b"data"
+        assert channel.inflight == 1
+
+    def test_ack_clears_pending(self):
+        channel, sent = self._channel()
+        seq = channel.send(b"data", cycle=0)
+        channel.acknowledge(seq)
+        assert channel.inflight == 0
+        assert channel.acked == 1
+        channel.tick(cycle=10_000)
+        assert len(sent) == 1  # no retransmission after the ACK
+
+    def test_stale_ack_is_harmless(self):
+        channel, _ = self._channel()
+        channel.acknowledge(77)
+        assert channel.acked == 0
+
+    def test_exponential_backoff_schedule(self):
+        channel, sent = self._channel(
+            base_timeout=100, backoff_cap=8, max_attempts=10
+        )
+        channel.send(b"x", cycle=0)
+        pending = next(iter(channel._pending.values()))
+        assert pending.next_retry_cycle == 100  # base
+        retry_cycles = []
+        cycle = 0
+        for _ in range(5):
+            cycle = pending.next_retry_cycle
+            channel.tick(cycle)
+            retry_cycles.append(pending.next_retry_cycle - cycle)
+        # Timeouts double per attempt: 200, 400, 800, then cap at 8x base.
+        assert retry_cycles == [200, 400, 800, 800, 800]
+        assert channel.retransmissions == 5
+
+    def test_no_retransmit_before_timeout(self):
+        channel, sent = self._channel(base_timeout=100)
+        channel.send(b"x", cycle=0)
+        channel.tick(cycle=99)
+        assert len(sent) == 1
+        channel.tick(cycle=100)
+        assert len(sent) == 2
+
+    def test_gives_up_after_max_attempts(self):
+        channel, sent = self._channel(base_timeout=10, max_attempts=3)
+        seq = channel.send(b"x", cycle=0)
+        for cycle in range(0, 10_000, 10):
+            channel.tick(cycle)
+        assert len(sent) == 3  # initial + 2 retransmissions
+        assert channel.inflight == 0
+        assert channel.failed == [seq]
+
+    def test_sequence_space_exhaustion_is_loud(self):
+        channel, _ = self._channel()
+        for _ in range(256):
+            seq = channel.send(b"", cycle=0)
+            channel.acknowledge(seq)
+        with pytest.raises(ProtocolError):
+            channel.send(b"", cycle=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(0, 1, lambda _: None, base_timeout=0)
+
+
+class TestInvariantsUnderPythonO:
+    """`python -O` strips `assert`; the invariant checks must not."""
+
+    def test_invariant_error_fires_with_optimization_enabled(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        script = (
+            "from repro.core.linkedlist import SlotListManager\n"
+            "from repro.errors import InvariantError\n"
+            "assert False  # proves -O is active: this must NOT raise\n"
+            "manager = SlotListManager(num_slots=4, num_lists=2)\n"
+            "manager.allocate(0)\n"
+            "manager._length[0] = 2\n"
+            "try:\n"
+            "    manager.check_invariants()\n"
+            "except InvariantError:\n"
+            "    print('DETECTED')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src)},
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "DETECTED"
