@@ -42,7 +42,7 @@ SLOT_BYTES = 8
 MAX_PACKET_BYTES = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class HwPacket:
     """Progress record for one packet moving through a buffer.
 

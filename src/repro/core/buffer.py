@@ -55,6 +55,12 @@ class SwitchBuffer(ABC):
     #: buffer except SAFC has a single read port.
     max_reads_per_cycle: int = 1
 
+    #: True when :meth:`queue_lengths` returns a *live* list — the same
+    #: (read-only to callers) object on every call, always current.  Lets
+    #: the switch hand the arbiter a permanent view instead of snapshotting
+    #: every cycle.  All concrete buffers in this package are live.
+    lengths_are_live: bool = False
+
     def __init__(self, capacity: int, num_outputs: int) -> None:
         if capacity < 1:
             raise ConfigurationError("buffer capacity must be at least 1")
@@ -128,6 +134,18 @@ class SwitchBuffer(ABC):
         the whole buffer is one queue, attributed to the head packet's
         destination.
         """
+
+    def queue_lengths(self) -> list[int]:
+        """All per-output queue lengths in one call.
+
+        Arbitration fast path: the arbiter snapshots every length once per
+        cycle (buffer state cannot change during arbitration — pops happen
+        at execution).  Subclasses override with cheaper bulk reads.
+        """
+        return [
+            self.queue_length(destination)
+            for destination in range(self.num_outputs)
+        ]
 
     # ------------------------------------------------------------------
     # Inspection

@@ -39,6 +39,7 @@ class DamqBuffer(SwitchBuffer):
     """
 
     kind = "DAMQ"
+    lengths_are_live = True
 
     def __init__(self, capacity: int, num_outputs: int) -> None:
         super().__init__(capacity, num_outputs)
@@ -52,11 +53,13 @@ class DamqBuffer(SwitchBuffer):
     # -- write side ------------------------------------------------------
 
     def can_accept(self, destination: int, size: int = 1) -> bool:
-        self._check_output(destination)
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
         return self._lists.free_count >= size
 
     def push(self, packet: Packet, destination: int) -> None:
-        self._check_output(destination)
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
         if self._lists.free_count < packet.size:
             raise BufferFullError(
                 f"DAMQ buffer out of slots ({self._lists.free_count} free, "
@@ -75,7 +78,8 @@ class DamqBuffer(SwitchBuffer):
     # -- read side -------------------------------------------------------
 
     def peek(self, destination: int) -> Packet | None:
-        self._check_output(destination)
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
         # Hot path for the arbiter: read the head register directly rather
         # than going through the empty-list/free-list indirection.
         if self._packet_counts[destination] == 0:
@@ -83,10 +87,13 @@ class DamqBuffer(SwitchBuffer):
         return self._slot_packet[self._lists._head[destination]]
 
     def pop(self, destination: int) -> Packet:
-        self._check_output(destination)
-        if self._lists.is_empty(destination):
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
+        # Same head-register fast path as peek: packet count zero is
+        # exactly the list-empty condition.
+        if self._packet_counts[destination] == 0:
             raise BufferEmptyError(f"DAMQ queue for output {destination} empty")
-        packet = self._slot_packet[self._lists.head(destination)]
+        packet = self._slot_packet[self._lists._head[destination]]
         assert packet is not None
         for _ in range(packet.size):
             slot = self._lists.release_head(destination)
@@ -99,6 +106,10 @@ class DamqBuffer(SwitchBuffer):
         counts once, matching how the arbiter reasons about queues)."""
         self._check_output(destination)
         return self._packet_counts[destination]
+
+    def queue_lengths(self) -> list[int]:
+        # The live register file; callers treat it as read-only.
+        return self._packet_counts
 
     # -- graceful degradation ----------------------------------------------
 

@@ -27,16 +27,21 @@ class FifoBuffer(SwitchBuffer):
     """Single FIFO queue shared by all output ports."""
 
     kind = "FIFO"
+    lengths_are_live = True
 
     def __init__(self, capacity: int, num_outputs: int) -> None:
         super().__init__(capacity, num_outputs)
         self._queue: deque[tuple[Packet, int]] = deque()
         self._used = 0
+        # Live register file behind queue_lengths(): the whole occupancy
+        # attributed to the head packet's destination, zero elsewhere.
+        self._lengths = [0] * num_outputs
 
     # -- write side ------------------------------------------------------
 
     def can_accept(self, destination: int, size: int = 1) -> bool:
-        self._check_output(destination)
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
         return self._used + size <= self.effective_capacity
 
     def push(self, packet: Packet, destination: int) -> None:
@@ -48,11 +53,15 @@ class FifoBuffer(SwitchBuffer):
             )
         self._queue.append((packet, destination))
         self._used += packet.size
+        # The head's destination absorbs the new occupancy (the head only
+        # changes on push when the queue was empty).
+        self._lengths[self._queue[0][1]] = self._used
 
     # -- read side -------------------------------------------------------
 
     def peek(self, destination: int) -> Packet | None:
-        self._check_output(destination)
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
         if not self._queue:
             return None
         head, head_destination = self._queue[0]
@@ -66,6 +75,11 @@ class FifoBuffer(SwitchBuffer):
             )
         self._queue.popleft()
         self._used -= packet.size
+        # peek() returning a packet means the old head targeted
+        # ``destination``; hand the register to the new head (if any).
+        self._lengths[destination] = 0
+        if self._queue:
+            self._lengths[self._queue[0][1]] = self._used
         return packet
 
     def queue_length(self, destination: int) -> int:
@@ -78,6 +92,10 @@ class FifoBuffer(SwitchBuffer):
         if self.peek(destination) is None:
             return 0
         return self._used
+
+    def queue_lengths(self) -> list[int]:
+        # The live register file; callers treat it as read-only.
+        return self._lengths
 
     def head_destination(self) -> int | None:
         """Local output of the head-of-line packet (``None`` if empty)."""
@@ -108,6 +126,13 @@ class FifoBuffer(SwitchBuffer):
         if total != self._used:
             raise InvariantError(
                 f"FIFO occupancy register {self._used} != queued sizes {total}"
+            )
+        expected = [0] * self.num_outputs
+        if self._queue:
+            expected[self._queue[0][1]] = self._used
+        if self._lengths != expected:
+            raise InvariantError(
+                f"FIFO length registers {self._lengths} != expected {expected}"
             )
         if self._used > self.effective_capacity:
             raise InvariantError(

@@ -23,7 +23,7 @@ MIN_PACKET_BYTES = 1
 MAX_PACKET_BYTES = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A routable unit of data.
 
@@ -91,7 +91,7 @@ class Packet:
         return self.delivered_at - self.injected_at
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A host-level message, possibly spanning several packets.
 
@@ -123,7 +123,7 @@ class Message:
         return (len(self.payload) + MAX_PACKET_BYTES - 1) // MAX_PACKET_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketFactory:
     """Mints :class:`Packet` objects with sequential ids.
 

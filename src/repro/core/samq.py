@@ -29,6 +29,7 @@ class SamqBuffer(SwitchBuffer):
     """Statically partitioned per-output queues behind one read port."""
 
     kind = "SAMQ"
+    lengths_are_live = True
 
     def __init__(self, capacity: int, num_outputs: int) -> None:
         super().__init__(capacity, num_outputs)
@@ -42,6 +43,9 @@ class SamqBuffer(SwitchBuffer):
         self.partition_capacity = capacity // num_outputs
         self._queues: list[deque[Packet]] = [deque() for _ in range(num_outputs)]
         self._used: list[int] = [0] * num_outputs
+        # Packets per queue, kept incrementally: the live register file
+        # behind queue_lengths().
+        self._counts: list[int] = [0] * num_outputs
         # Slots retired per partition (static partitioning means a failed
         # slot shrinks exactly one output's share).
         self._partition_retired: list[int] = [0] * num_outputs
@@ -70,6 +74,7 @@ class SamqBuffer(SwitchBuffer):
             )
         self._queues[destination].append(packet)
         self._used[destination] += packet.size
+        self._counts[destination] += 1
 
     # -- read side -------------------------------------------------------
 
@@ -87,11 +92,16 @@ class SamqBuffer(SwitchBuffer):
             )
         packet = queue.popleft()
         self._used[destination] -= packet.size
+        self._counts[destination] -= 1
         return packet
 
     def queue_length(self, destination: int) -> int:
         self._check_output(destination)
         return len(self._queues[destination])
+
+    def queue_lengths(self) -> list[int]:
+        # The live register file; callers treat it as read-only.
+        return self._counts
 
     # -- graceful degradation ----------------------------------------------
 
@@ -138,6 +148,11 @@ class SamqBuffer(SwitchBuffer):
 
     def check_invariants(self) -> None:
         for destination, queue in enumerate(self._queues):
+            if len(queue) != self._counts[destination]:
+                raise InvariantError(
+                    f"{self.kind} queue {destination}: cached count "
+                    f"{self._counts[destination]} != actual {len(queue)}"
+                )
             total = sum(packet.size for packet in queue)
             if total != self._used[destination]:
                 raise InvariantError(

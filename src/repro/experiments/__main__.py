@@ -42,6 +42,14 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=1988, help="root random seed"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for each experiment's simulation grid "
+        "(0 = one per CPU; results are identical for any value)",
+    )
+    parser.add_argument(
         "--csv-dir",
         metavar="DIR",
         default=None,
@@ -51,7 +59,9 @@ def main(argv: list[str] | None = None) -> int:
     requested = args.experiments or list(EXPERIMENTS)
     for experiment_id in requested:
         started = time.perf_counter()
-        result = run_experiment(experiment_id, quick=args.quick, seed=args.seed)
+        result = run_experiment(
+            experiment_id, quick=args.quick, seed=args.seed, jobs=args.jobs
+        )
         elapsed = time.perf_counter() - started
         print(result.render())
         if args.csv_dir is not None:

@@ -30,8 +30,14 @@ __all__ = ["run"]
 LOSS_RATES = (0.0, 1e-3, 1e-2)
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
-    """Run both fault campaigns and tabulate the results."""
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
+    """Run both fault campaigns and tabulate the results.
+
+    The chip campaign is one closed-loop run (inherently serial); the
+    buffer degradation sweep is an independent grid and honours ``jobs``.
+    """
     result = ExperimentResult(
         experiment_id="ext-faults",
         title="Extension: fault injection, graceful degradation, recovery",
@@ -83,6 +89,7 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         seed=seed,
         warmup_cycles=100 if quick else 200,
         measure_cycles=400 if quick else 1000,
+        jobs=jobs,
     )
     sweep_table = TextTable(
         "Delivered throughput at reduced capacity "

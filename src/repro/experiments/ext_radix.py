@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentResult, sim_cycles
-from repro.network import NetworkConfig, measure_saturation
+from repro.network import NetworkConfig, measure_saturation_grid
 from repro.switch.flow_control import Protocol
 from repro.utils.tables import TextTable, format_value
 
@@ -29,7 +29,9 @@ RADICES = (2, 4, 8)
 _KIND_ORDER = ("FIFO", "SAMQ", "SAFC", "DAMQ")
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Saturation throughput for each (radix, buffer architecture) pair.
 
     Buffer capacity per input port is ``2 * radix`` slots so the static
@@ -56,16 +58,25 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         seed=seed,
     )
     data: dict[tuple[str, int], float] = {}
-    for kind in _KIND_ORDER:
-        cells = []
-        for radix in radices:
-            config = base.with_overrides(
+    grid = [(kind, radix) for kind in _KIND_ORDER for radix in radices]
+    saturations = measure_saturation_grid(
+        [
+            base.with_overrides(
                 buffer_kind=kind, radix=radix, slots_per_buffer=2 * radix
             )
-            saturation = measure_saturation(config, warmup, measure)
-            data[(kind, radix)] = saturation.saturation_throughput
-            cells.append(format_value(saturation.saturation_throughput, 3))
-        table.add_row([kind] + cells)
+            for kind, radix in grid
+        ],
+        warmup,
+        measure,
+        jobs=jobs,
+    )
+    for (kind, radix), saturation in zip(grid, saturations):
+        data[(kind, radix)] = saturation.saturation_throughput
+    for kind in _KIND_ORDER:
+        table.add_row(
+            [kind]
+            + [format_value(data[(kind, radix)], 3) for radix in radices]
+        )
     result.tables.append(table)
     result.data["saturation"] = data
     for radix in radices:

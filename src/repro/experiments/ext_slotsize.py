@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.chip import ChipNetwork
 from repro.chip.area import slot_size_sweep
 from repro.experiments.report import ExperimentResult
+from repro.perf import parallel_map
 from repro.utils.rng import RandomStream
 from repro.utils.tables import TextTable, format_value
 
@@ -64,7 +65,15 @@ def measured_fragmentation(
     return wasted_samples / occupied_samples
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def _fragmentation_task(task: tuple) -> float:
+    """Pool worker: measured fragmentation at one slot size."""
+    slot_bytes, seed = task
+    return measured_fragmentation(slot_bytes, seed=seed)
+
+
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate the slot-size tradeoff discussion as a table."""
     result = ExperimentResult(
         experiment_id="ext-slotsize",
@@ -102,8 +111,12 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         ["Slot bytes", "measured stranded fraction"],
     )
     result.data["measured"] = {}
-    for slot_bytes in sizes_to_measure:
-        fraction = measured_fragmentation(slot_bytes, seed=seed)
+    fractions = parallel_map(
+        _fragmentation_task,
+        [(slot_bytes, seed) for slot_bytes in sizes_to_measure],
+        jobs=jobs,
+    )
+    for slot_bytes, fraction in zip(sizes_to_measure, fractions):
         result.data["measured"][slot_bytes] = fraction
         measured.add_row([slot_bytes, format_value(fraction, 3)])
     result.tables.append(measured)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult
 from repro.markov.validation import validate
+from repro.perf import parallel_map
 from repro.utils.tables import TextTable, format_value
 
 __all__ = ["run"]
@@ -28,7 +29,15 @@ _CONFIGS = (
 _RATES = (0.75, 0.95)
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def _validate_task(task: tuple) -> object:
+    """Pool worker: one analytic-vs-Monte-Carlo comparison."""
+    kind, slots, rate, cycles, seed = task
+    return validate(kind, slots, rate, cycles=cycles, seed=seed)
+
+
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Compare every configuration's chain against Monte Carlo."""
     cycles = 40_000 if quick else 200_000
     result = ExperimentResult(
@@ -41,22 +50,28 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         ["Buffer", "Slots", "Traffic", "analytic", "simulated", "abs error"],
     )
     worst = 0.0
-    reports = []
-    for kind, slots in _CONFIGS:
-        for rate in _RATES:
-            report = validate(kind, slots, rate, cycles=cycles, seed=seed)
-            reports.append(report)
-            worst = max(worst, report.discard_error)
-            table.add_row(
-                [
-                    kind,
-                    slots,
-                    f"{rate:.0%}",
-                    format_value(report.analytic_discard, 4),
-                    format_value(report.simulated_discard, 4),
-                    format_value(report.discard_error, 4),
-                ]
-            )
+    grid = [
+        (kind, slots, rate)
+        for kind, slots in _CONFIGS
+        for rate in _RATES
+    ]
+    reports = parallel_map(
+        _validate_task,
+        [(kind, slots, rate, cycles, seed) for kind, slots, rate in grid],
+        jobs=jobs,
+    )
+    for (kind, slots, rate), report in zip(grid, reports):
+        worst = max(worst, report.discard_error)
+        table.add_row(
+            [
+                kind,
+                slots,
+                f"{rate:.0%}",
+                format_value(report.analytic_discard, 4),
+                format_value(report.simulated_discard, 4),
+                format_value(report.discard_error, 4),
+            ]
+        )
     result.tables.append(table)
     result.data["reports"] = reports
     result.data["worst_error"] = worst

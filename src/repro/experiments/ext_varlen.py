@@ -11,7 +11,7 @@ the fixed-length baseline.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult, sim_cycles
-from repro.network import NetworkConfig, measure_saturation
+from repro.network import NetworkConfig, measure_saturation_grid
 from repro.switch.flow_control import Protocol
 from repro.utils.tables import TextTable, format_value
 
@@ -25,7 +25,9 @@ _KIND_ORDER = ("FIFO", "SAMQ", "SAFC", "DAMQ")
 SLOTS = 8
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Compare fixed vs variable packet sizes across architectures.
 
     The statically partitioned buffers can only accept packets that fit a
@@ -58,15 +60,22 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
     )
     data: dict[str, dict[str, float]] = {}
     mean_size = 1.5  # uniform on {1, 2}
-    for kind in _KIND_ORDER:
-        fixed = measure_saturation(
-            base.with_overrides(buffer_kind=kind), warmup, measure
-        ).saturation_throughput
-        variable = measure_saturation(
-            base.with_overrides(buffer_kind=kind, packet_size_max=2),
-            warmup,
-            measure,
-        ).saturation_throughput
+    fixed_sats = measure_saturation_grid(
+        [base.with_overrides(buffer_kind=kind) for kind in _KIND_ORDER],
+        warmup, measure, jobs=jobs,
+    )
+    variable_sats = measure_saturation_grid(
+        [
+            base.with_overrides(buffer_kind=kind, packet_size_max=2)
+            for kind in _KIND_ORDER
+        ],
+        warmup, measure, jobs=jobs,
+    )
+    for kind, fixed_sat, variable_sat in zip(
+        _KIND_ORDER, fixed_sats, variable_sats
+    ):
+        fixed = fixed_sat.saturation_throughput
+        variable = variable_sat.saturation_throughput
         data[kind] = {
             "fixed": fixed,
             "variable": variable,
@@ -105,14 +114,17 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         ["Buffer", "saturation", "slot units"],
     )
     serial_data: dict[str, float] = {}
-    for kind in _KIND_ORDER:
-        value = measure_saturation(
+    serialized_sats = measure_saturation_grid(
+        [
             base.with_overrides(
                 buffer_kind=kind, packet_size_max=2, serialize_links=True
-            ),
-            warmup,
-            measure,
-        ).saturation_throughput
+            )
+            for kind in _KIND_ORDER
+        ],
+        warmup, measure, jobs=jobs,
+    )
+    for kind, saturation in zip(_KIND_ORDER, serialized_sats):
+        value = saturation.saturation_throughput
         serial_data[kind] = value
         serialized.add_row(
             [kind, format_value(value, 3), format_value(value * mean_size, 3)]

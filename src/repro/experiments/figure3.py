@@ -51,7 +51,9 @@ def ascii_plot(
     return "\n".join(lines)
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate Figure 3 as a data table plus an ASCII rendering."""
     warmup, measure = sim_cycles(quick)
     loads = list(QUICK_LOADS if quick else SWEEP_LOADS)
@@ -75,7 +77,8 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
     )
     for kind in _KINDS:
         curve = latency_throughput_curve(
-            base.with_overrides(buffer_kind=kind), loads, warmup, measure
+            base.with_overrides(buffer_kind=kind), loads, warmup, measure,
+            jobs=jobs,
         )
         curves[kind] = curve
         for point in curve:

@@ -48,9 +48,17 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, seed: int = 1988
+    experiment_id: str,
+    quick: bool = False,
+    seed: int = 1988,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
-    """Run one experiment by id ("table2", "figure3", ...)."""
+    """Run one experiment by id ("table2", "figure3", ...).
+
+    ``jobs`` fans each experiment's independent simulation grid over that
+    many worker processes (``None``/``0`` = one per CPU).  Per-config
+    seeding makes the results byte-identical to a ``jobs=1`` run.
+    """
     try:
         runner = EXPERIMENTS[experiment_id.lower()]
     except KeyError:
@@ -58,12 +66,14 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(quick=quick, seed=seed)
+    return runner(quick=quick, seed=seed, jobs=jobs)
 
 
-def run_all(quick: bool = False, seed: int = 1988) -> list[ExperimentResult]:
+def run_all(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> list[ExperimentResult]:
     """Run every experiment in paper order."""
     return [
-        run_experiment(experiment_id, quick=quick, seed=seed)
+        run_experiment(experiment_id, quick=quick, seed=seed, jobs=jobs)
         for experiment_id in EXPERIMENTS
     ]

@@ -13,7 +13,8 @@ the two quantities the paper tabulates.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult, sim_cycles
-from repro.network import NetworkConfig, simulate
+from repro.network import NetworkConfig
+from repro.perf import parallel_simulate
 from repro.switch.flow_control import Protocol
 from repro.utils.tables import TextTable, format_value
 
@@ -24,8 +25,18 @@ _KIND_ORDER = ("FIFO", "SAMQ", "SAFC", "DAMQ")
 #: Offered load used for the "over capacity" column.
 OVER_CAPACITY_LOAD = 0.75
 
+#: The table's four (column label, offered load, arbiter) cells per row.
+_CELLS = (
+    ("smart_25", 0.25, "smart"),
+    ("smart_50", 0.50, "smart"),
+    ("over", OVER_CAPACITY_LOAD, "smart"),
+    ("dumb_50", 0.50, "dumb"),
+)
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate Table 3."""
     warmup, measure = sim_cycles(quick)
     result = ExperimentResult(
@@ -52,24 +63,25 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         traffic_kind="uniform",
         seed=seed,
     )
-    for kind in _KIND_ORDER:
-        row: dict[str, float] = {}
-        for label, load, arbiter in (
-            ("smart_25", 0.25, "smart"),
-            ("smart_50", 0.50, "smart"),
-            ("over", OVER_CAPACITY_LOAD, "smart"),
-            ("dumb_50", 0.50, "dumb"),
-        ):
-            sim = simulate(
-                base.with_overrides(
-                    buffer_kind=kind, offered_load=load, arbiter_kind=arbiter
-                ),
-                warmup,
-                measure,
+    # The whole table is one independent grid: fan every cell at once.
+    grid = [(kind, cell) for kind in _KIND_ORDER for cell in _CELLS]
+    sims = parallel_simulate(
+        [
+            base.with_overrides(
+                buffer_kind=kind, offered_load=load, arbiter_kind=arbiter
             )
-            row[f"{label}_discard"] = sim.discard_percent
-            row[f"{label}_delivered"] = sim.delivered_throughput
-        data[kind] = row
+            for kind, (_label, load, arbiter) in grid
+        ],
+        warmup,
+        measure,
+        jobs=jobs,
+    )
+    for (kind, (label, _load, _arbiter)), sim in zip(grid, sims):
+        row = data.setdefault(kind, {})
+        row[f"{label}_discard"] = sim.discard_percent
+        row[f"{label}_delivered"] = sim.delivered_throughput
+    for kind in _KIND_ORDER:
+        row = data[kind]
         table.add_row(
             [
                 kind,

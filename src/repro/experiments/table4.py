@@ -10,7 +10,8 @@ throughput" headline.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult, sim_cycles
-from repro.network import NetworkConfig, measure_saturation, simulate
+from repro.network import NetworkConfig, measure_saturation_grid
+from repro.perf import parallel_simulate
 from repro.switch.flow_control import Protocol
 from repro.utils.tables import TextTable, format_value
 
@@ -22,7 +23,9 @@ _KIND_ORDER = ("FIFO", "DAMQ", "SAFC", "SAMQ")
 PAPER_LOADS = (0.25, 0.30, 0.40, 0.50)
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate Table 4."""
     warmup, measure = sim_cycles(quick)
     loads = PAPER_LOADS[:2] + (PAPER_LOADS[-1],) if quick else PAPER_LOADS
@@ -46,23 +49,36 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         seed=seed,
     )
     data: dict[str, dict] = {}
-    for kind in _KIND_ORDER:
-        config = base.with_overrides(buffer_kind=kind)
-        latencies = {}
-        for load in loads:
-            sim = simulate(
-                config.with_overrides(offered_load=load), warmup, measure
-            )
-            latencies[load] = sim.average_latency
-        saturation = measure_saturation(config, warmup, measure)
+    # Sub-saturation grid (kinds x loads) and the saturation runs are all
+    # independent; fan each batch over the process pool.
+    grid = [(kind, load) for kind in _KIND_ORDER for load in loads]
+    sims = parallel_simulate(
+        [
+            base.with_overrides(buffer_kind=kind, offered_load=load)
+            for kind, load in grid
+        ],
+        warmup,
+        measure,
+        jobs=jobs,
+    )
+    latencies_by_kind: dict[str, dict] = {kind: {} for kind in _KIND_ORDER}
+    for (kind, load), sim in zip(grid, sims):
+        latencies_by_kind[kind][load] = sim.average_latency
+    saturations = measure_saturation_grid(
+        [base.with_overrides(buffer_kind=kind) for kind in _KIND_ORDER],
+        warmup,
+        measure,
+        jobs=jobs,
+    )
+    for kind, saturation in zip(_KIND_ORDER, saturations):
         data[kind] = {
-            "latencies": latencies,
+            "latencies": latencies_by_kind[kind],
             "saturation_throughput": saturation.saturation_throughput,
             "saturated_latency": saturation.saturated_latency,
         }
         table.add_row(
             [kind]
-            + [format_value(latencies[load], 2) for load in loads]
+            + [format_value(latencies_by_kind[kind][load], 2) for load in loads]
             + [
                 format_value(saturation.saturated_latency, 2),
                 format_value(saturation.saturation_throughput, 2),

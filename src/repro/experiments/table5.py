@@ -10,7 +10,8 @@ beats buffer capacity.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult, sim_cycles
-from repro.network import NetworkConfig, measure_saturation, simulate
+from repro.network import NetworkConfig, measure_saturation_grid
+from repro.perf import parallel_simulate
 from repro.switch.flow_control import Protocol
 from repro.utils.tables import TextTable, format_value
 
@@ -22,7 +23,9 @@ PAPER_SLOT_COUNTS = (3, 4, 8)
 _KIND_ORDER = ("FIFO", "DAMQ")
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate Table 5."""
     warmup, measure = sim_cycles(quick)
     slot_counts = (3, 8) if quick else PAPER_SLOT_COUNTS
@@ -49,32 +52,39 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         seed=seed,
     )
     data: dict[tuple[str, int], dict] = {}
-    for kind in _KIND_ORDER:
-        for slots in slot_counts:
-            config = base.with_overrides(buffer_kind=kind, slots_per_buffer=slots)
-            lat_25 = simulate(
-                config.with_overrides(offered_load=0.25), warmup, measure
-            ).average_latency
-            lat_50 = simulate(
-                config.with_overrides(offered_load=0.50), warmup, measure
-            ).average_latency
-            saturation = measure_saturation(config, warmup, measure)
-            data[(kind, slots)] = {
-                "lat_25": lat_25,
-                "lat_50": lat_50,
-                "saturated_latency": saturation.saturated_latency,
-                "saturation_throughput": saturation.saturation_throughput,
-            }
-            table.add_row(
-                [
-                    kind,
-                    slots,
-                    format_value(lat_25, 1),
-                    format_value(lat_50, 1),
-                    format_value(saturation.saturated_latency, 1),
-                    format_value(saturation.saturation_throughput, 2),
-                ]
-            )
+    cells = [(kind, slots) for kind in _KIND_ORDER for slots in slot_counts]
+    configs = [
+        base.with_overrides(buffer_kind=kind, slots_per_buffer=slots)
+        for kind, slots in cells
+    ]
+    sims_25 = parallel_simulate(
+        [config.with_overrides(offered_load=0.25) for config in configs],
+        warmup, measure, jobs=jobs,
+    )
+    sims_50 = parallel_simulate(
+        [config.with_overrides(offered_load=0.50) for config in configs],
+        warmup, measure, jobs=jobs,
+    )
+    saturations = measure_saturation_grid(configs, warmup, measure, jobs=jobs)
+    for (kind, slots), sim_25, sim_50, saturation in zip(
+        cells, sims_25, sims_50, saturations
+    ):
+        data[(kind, slots)] = {
+            "lat_25": sim_25.average_latency,
+            "lat_50": sim_50.average_latency,
+            "saturated_latency": saturation.saturated_latency,
+            "saturation_throughput": saturation.saturation_throughput,
+        }
+        table.add_row(
+            [
+                kind,
+                slots,
+                format_value(sim_25.average_latency, 1),
+                format_value(sim_50.average_latency, 1),
+                format_value(saturation.saturated_latency, 1),
+                format_value(saturation.saturation_throughput, 2),
+            ]
+        )
     result.tables.append(table)
     result.data["rows"] = data
     smallest_damq = data[("DAMQ", slot_counts[0])]["saturation_throughput"]

@@ -11,7 +11,8 @@ RP3's separate combining network.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult, sim_cycles
-from repro.network import NetworkConfig, measure_saturation, simulate
+from repro.network import NetworkConfig, measure_saturation_grid
+from repro.perf import parallel_simulate
 from repro.switch.flow_control import Protocol
 from repro.utils.tables import TextTable, format_value
 
@@ -26,7 +27,9 @@ PAPER_HOT_LOADS = (0.125, 0.20)
 HOT_FRACTION = 0.05
 
 
-def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
+def run(
+    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate Table 6."""
     warmup, measure = sim_cycles(quick)
     loads = (PAPER_HOT_LOADS[0],) if quick else PAPER_HOT_LOADS
@@ -50,15 +53,27 @@ def run(quick: bool = False, seed: int = 1988) -> ExperimentResult:
         seed=seed,
     )
     data: dict[str, dict] = {}
-    for kind in _KIND_ORDER:
-        config = base.with_overrides(buffer_kind=kind)
-        latencies = {}
-        for load in loads:
-            sim = simulate(
-                config.with_overrides(offered_load=load), warmup, measure
-            )
-            latencies[load] = sim.average_latency
-        saturation = measure_saturation(config, warmup, measure)
+    grid = [(kind, load) for kind in _KIND_ORDER for load in loads]
+    sims = parallel_simulate(
+        [
+            base.with_overrides(buffer_kind=kind, offered_load=load)
+            for kind, load in grid
+        ],
+        warmup,
+        measure,
+        jobs=jobs,
+    )
+    latencies_by_kind: dict[str, dict] = {kind: {} for kind in _KIND_ORDER}
+    for (kind, load), sim in zip(grid, sims):
+        latencies_by_kind[kind][load] = sim.average_latency
+    saturations = measure_saturation_grid(
+        [base.with_overrides(buffer_kind=kind) for kind in _KIND_ORDER],
+        warmup,
+        measure,
+        jobs=jobs,
+    )
+    for kind, saturation in zip(_KIND_ORDER, saturations):
+        latencies = latencies_by_kind[kind]
         data[kind] = {
             "latencies": latencies,
             "saturation_throughput": saturation.saturation_throughput,

@@ -28,7 +28,8 @@ from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector, StuckAtFault
 from repro.faults.transport import MAX_FRAME_PAYLOAD, ReliableMessenger
 from repro.network.metrics import SimulationResult
-from repro.network.simulator import NetworkConfig, simulate
+from repro.network.simulator import NetworkConfig
+from repro.perf.parallel import parallel_simulate
 from repro.switch.flow_control import Protocol
 
 __all__ = [
@@ -254,6 +255,7 @@ def run_buffer_sweep(
     seed: int = 1988,
     warmup_cycles: int = 200,
     measure_cycles: int = 1000,
+    jobs: int | None = 1,
 ) -> list[BufferSweepCell]:
     """Degraded-capacity throughput of the four buffer architectures.
 
@@ -275,19 +277,22 @@ def run_buffer_sweep(
         seed=seed,
         retired_slots_per_buffer=retired_slots_per_buffer,
     )
-    cells = []
-    for kind in buffer_kinds:
-        for rate in loss_rates:
-            config = base.with_overrides(
-                buffer_kind=kind, packet_loss_rate=rate
-            )
-            result = simulate(config, warmup_cycles, measure_cycles)
-            cells.append(
-                BufferSweepCell(
-                    buffer_kind=kind,
-                    packet_loss_rate=rate,
-                    retired_slots_per_buffer=retired_slots_per_buffer,
-                    result=result,
-                )
-            )
-    return cells
+    grid = [(kind, rate) for kind in buffer_kinds for rate in loss_rates]
+    results = parallel_simulate(
+        [
+            base.with_overrides(buffer_kind=kind, packet_loss_rate=rate)
+            for kind, rate in grid
+        ],
+        warmup_cycles,
+        measure_cycles,
+        jobs=jobs,
+    )
+    return [
+        BufferSweepCell(
+            buffer_kind=kind,
+            packet_loss_rate=rate,
+            retired_slots_per_buffer=retired_slots_per_buffer,
+            result=result,
+        )
+        for (kind, rate), result in zip(grid, results)
+    ]

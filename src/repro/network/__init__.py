@@ -6,6 +6,7 @@ from repro.network.saturation import (
     SaturationResult,
     latency_throughput_curve,
     measure_saturation,
+    measure_saturation_grid,
 )
 from repro.network.simulator import (
     NetworkConfig,
@@ -40,5 +41,6 @@ __all__ = [
     "latency_throughput_curve",
     "make_traffic",
     "measure_saturation",
+    "measure_saturation_grid",
     "simulate",
 ]

@@ -15,14 +15,17 @@ latency the paper tabulates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.network.metrics import SimulationResult
-from repro.network.simulator import NetworkConfig, simulate
+from repro.network.simulator import NetworkConfig
+from repro.perf.parallel import parallel_simulate
 
 __all__ = [
     "SaturationResult",
     "CurvePoint",
     "measure_saturation",
+    "measure_saturation_grid",
     "latency_throughput_curve",
 ]
 
@@ -70,16 +73,37 @@ def measure_saturation(
     mean latency is the saturated latency (finite, because the injection
     queue bounds per-packet waiting at the source).
     """
-    result = simulate(
-        config.with_overrides(offered_load=1.0), warmup_cycles, measure_cycles
+    return measure_saturation_grid([config], warmup_cycles, measure_cycles)[0]
+
+
+def measure_saturation_grid(
+    configs: Sequence[NetworkConfig],
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 10000,
+    jobs: int | None = 1,
+) -> list[SaturationResult]:
+    """Saturation point of every config, fanned over ``jobs`` processes.
+
+    The grid-shaped experiments (Tables 4-6, the radix/varlen extensions)
+    all sweep independent configurations; this batches their saturation
+    runs through :func:`repro.perf.parallel_simulate`.
+    """
+    results = parallel_simulate(
+        [config.with_overrides(offered_load=1.0) for config in configs],
+        warmup_cycles,
+        measure_cycles,
+        jobs=jobs,
     )
-    return SaturationResult(
-        buffer_kind=config.buffer_kind,
-        slots_per_buffer=config.slots_per_buffer,
-        traffic_kind=config.traffic_kind,
-        saturation_throughput=result.delivered_throughput,
-        saturated_latency=result.average_latency,
-    )
+    return [
+        SaturationResult(
+            buffer_kind=config.buffer_kind,
+            slots_per_buffer=config.slots_per_buffer,
+            traffic_kind=config.traffic_kind,
+            saturation_throughput=result.delivered_throughput,
+            saturated_latency=result.average_latency,
+        )
+        for config, result in zip(configs, results)
+    ]
 
 
 def latency_throughput_curve(
@@ -87,24 +111,27 @@ def latency_throughput_curve(
     offered_loads: list[float],
     warmup_cycles: int = 2000,
     measure_cycles: int = 10000,
+    jobs: int | None = 1,
 ) -> list[CurvePoint]:
     """Sweep offered load and collect (delivered, latency) pairs.
 
     This regenerates the characteristic curve of Figure 3: flat latency up
     to the saturation throughput, then a nearly vertical wall (delivered
-    throughput stops increasing while latency keeps climbing).
+    throughput stops increasing while latency keeps climbing).  The sweep
+    points are independent runs, so ``jobs`` fans them over processes.
     """
-    points = []
-    for load in offered_loads:
-        result: SimulationResult = simulate(
-            config.with_overrides(offered_load=load), warmup_cycles, measure_cycles
+    results: list[SimulationResult] = parallel_simulate(
+        [config.with_overrides(offered_load=load) for load in offered_loads],
+        warmup_cycles,
+        measure_cycles,
+        jobs=jobs,
+    )
+    return [
+        CurvePoint(
+            offered_load=load,
+            delivered_throughput=result.delivered_throughput,
+            average_latency=result.average_latency,
+            latency_half_width=result.meters.latency.mean_half_width(),
         )
-        points.append(
-            CurvePoint(
-                offered_load=load,
-                delivered_throughput=result.delivered_throughput,
-                average_latency=result.average_latency,
-                latency_half_width=result.meters.latency.mean_half_width(),
-            )
-        )
-    return points
+        for load, result in zip(offered_loads, results)
+    ]

@@ -24,7 +24,7 @@ switch-to-switch movement.  Flow control follows the configured protocol:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.packet import Packet, PacketFactory
 from repro.core.registry import make_buffer_factory
@@ -33,7 +33,7 @@ from repro.network.metrics import Meters, SimulationResult
 from repro.network.sources import Sink, Source
 from repro.network.topology import OmegaTopology
 from repro.network.traffic import TrafficPattern, make_traffic
-from repro.switch.arbiter import make_arbiter
+from repro.switch.arbiter import BlockedPredicate, make_arbiter
 from repro.switch.flow_control import Protocol
 from repro.switch.switch import Switch
 from repro.utils.rng import RandomStream
@@ -106,7 +106,7 @@ class NetworkConfig:
         return replace(self, **kwargs)
 
 
-@dataclass
+@dataclass(slots=True)
 class _StageLink:
     """Pre-resolved wiring of one switch output to its downstream input."""
 
@@ -221,54 +221,73 @@ class OmegaNetworkSimulator:
         ]
         self._source_free_at = [0] * config.num_ports
         self._pending: dict[int, list[tuple]] = {}
+        # Hot-path state, all derived from the config and wiring above.
+        self._last_stage = stages - 1
+        self._serialize = config.serialize_links
+        self._blocking = config.protocol is Protocol.BLOCKING
+        self._discard_at_injection = (
+            discarding and config.discard_at_injection
+        )
+        # Where each source's port enters stage 0.
+        self._entries = [
+            self.topology.entry_point(port) for port in range(config.num_ports)
+        ]
+        self._entry_switches = [
+            self.switches[0][entry.switch] for entry in self._entries
+        ]
+        # Sink fed by each final-stage switch output.
+        self._exit_sinks = [
+            [
+                self.sinks[self.topology.exit_link(index, output)]
+                for output in range(config.radix)
+            ]
+            for index in range(per_stage)
+        ]
+        # Occupied slots per stage: a stage whose count is zero has nothing
+        # to arbitrate, so ``step`` skips it entirely (active-stage
+        # worklist).  Maintained by _run_switch/_forward/_inject.
+        self._stage_slots = [0] * stages
+        # The flow-control predicate of each switch never changes shape
+        # during a run, so build it once instead of rebuilding closures
+        # every switch-cycle.
+        self._blocked_for: list[list[BlockedPredicate]] = [
+            [
+                self._make_blocked(stage, index)
+                for index in range(per_stage)
+            ]
+            for stage in range(stages)
+        ]
 
-    # ------------------------------------------------------------------
-    # One network cycle
-    # ------------------------------------------------------------------
-
-    def step(self) -> None:
-        """Advance the whole network by one network cycle."""
-        last_stage = self.topology.num_stages - 1
-        for stage in range(last_stage, -1, -1):
-            for index, switch in enumerate(self.switches[stage]):
-                if switch.occupancy == 0:
-                    continue
-                self._run_switch(stage, index, switch)
-        self._inject()
-        if self.config.serialize_links:
-            self._complete_in_flight()
-        self._sample_occupancy()
-        self.cycle += 1
-
-    def _run_switch(self, stage: int, index: int, switch: Switch) -> None:
-        """Arbitrate and move one switch's granted packets downstream."""
-        last_stage = self.topology.num_stages - 1
-        blocking = self.config.protocol is Protocol.BLOCKING
-
-        if stage == last_stage:
+    def _make_blocked(self, stage: int, index: int) -> BlockedPredicate:
+        """Build the per-switch flow-control predicate once, up front."""
+        if stage == self._last_stage:
             def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
                 return False  # sinks always accept
-        elif blocking and self.config.flow_control_fidelity == "conservative":
-            links = self._downstream[stage][index]
+        elif self._blocking and self.config.flow_control_fidelity == "conservative":
+            buffers = [
+                link.switch.buffers[link.input_port]
+                for link in self._downstream[stage][index]
+            ]
 
             def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
-                link = links[output_port]
-                buffer = link.switch.buffers[link.input_port]
-                return not buffer.can_accept_without_prerouting(packet.size)
-        elif blocking:
-            links = self._downstream[stage][index]
+                return not buffers[output_port].can_accept_without_prerouting(
+                    packet.size
+                )
+        elif self._blocking:
+            buffers = [
+                link.switch.buffers[link.input_port]
+                for link in self._downstream[stage][index]
+            ]
 
             def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
-                link = links[output_port]
-                next_output = packet.route[packet.hop + 1]
-                return not link.switch.can_accept(
-                    link.input_port, next_output, packet.size
+                return not buffers[output_port].can_accept(
+                    packet.route[packet.hop + 1], packet.size
                 )
         else:
             def blocked(input_port: int, output_port: int, packet: Packet) -> bool:
                 return False
 
-        if self.config.serialize_links:
+        if self._serialize:
             link_free = self._link_free_at[stage][index]
             reader_free = self._reader_free_at[stage][index]
             flow_blocked = blocked
@@ -280,17 +299,54 @@ class OmegaNetworkSimulator:
                     return True  # buffer's read port still streaming
                 return flow_blocked(input_port, output_port, packet)
 
+        return blocked
+
+    # ------------------------------------------------------------------
+    # One network cycle
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole network by one network cycle."""
+        stage_slots = self._stage_slots
+        for stage in range(self._last_stage, -1, -1):
+            if stage_slots[stage] == 0:
+                continue  # nothing buffered anywhere in this stage
+            blocked_row = self._blocked_for[stage]
+            for index, switch in enumerate(self.switches[stage]):
+                if switch._occupancy == 0:
+                    continue
+                self._run_switch(stage, index, switch, blocked_row[index])
+        self._inject()
+        if self._serialize:
+            self._complete_in_flight()
+        self._sample_occupancy()
+        self.cycle += 1
+
+    def _run_switch(
+        self,
+        stage: int,
+        index: int,
+        switch: Switch,
+        blocked: BlockedPredicate,
+    ) -> None:
+        """Arbitrate and move one switch's granted packets downstream."""
         grants = switch.plan_transmissions(blocked)
+        if not grants:
+            return
+        last = stage == self._last_stage
+        serialize = self._serialize
+        stage_slots = self._stage_slots
         for grant in grants:
             packet = switch.execute(grant)
-            if self.config.serialize_links and packet.size > 1:
+            stage_slots[stage] -= packet.size
+            if serialize and packet.size > 1:
                 done = self.cycle + packet.size
                 self._link_free_at[stage][index][grant.output_port] = done
                 self._reader_free_at[stage][index][grant.input_port] = done
                 self._pending.setdefault(done - 1, []).append(
                     ("hop", stage, index, grant.output_port, packet)
                 )
-            elif stage == last_stage:
+            elif last:
                 self._deliver(index, grant.output_port, packet)
             else:
                 self._forward(stage, index, grant.output_port, packet)
@@ -312,23 +368,26 @@ class OmegaNetworkSimulator:
         if self._link_fault_destroys(packet):
             return
         link = self._downstream[stage][index][output_port]
-        packet.advance_hop()
-        next_output = packet.output_port_at_current_hop()
+        # Inlined packet.advance_hop() / output_port_at_current_hop():
+        # forwarded packets always carry a route entry for the next stage.
+        packet.hop += 1
+        next_output = packet.route[packet.hop]
         try:
             link.switch.receive(link.input_port, packet, next_output)
         except BufferFullError:
-            if self.config.protocol is Protocol.BLOCKING:
+            if self._blocking:
                 raise SimulationError(
                     "blocking protocol forwarded into a full buffer"
                 ) from None
             self._count_discard(packet)
+        else:
+            self._stage_slots[stage + 1] += packet.size
 
     def _deliver(self, index: int, output_port: int, packet: Packet) -> None:
         """Hand a packet leaving the last stage to its memory sink."""
         if self._link_fault_destroys(packet):
             return
-        port = self.topology.exit_link(index, output_port)
-        sink = self.sinks[port]
+        sink = self._exit_sinks[index][output_port]
         sink.deliver(packet, self.cycle)
         if self._in_measurement(packet):
             self.meters.delivered += 1
@@ -337,29 +396,32 @@ class OmegaNetworkSimulator:
 
     def _inject(self) -> None:
         """Generate new packets and push injection-queue heads into stage 0."""
-        discarding = (
-            self.config.protocol is Protocol.DISCARDING
-            and self.config.discard_at_injection
-        )
+        discarding = self._discard_at_injection
+        serialize = self._serialize
+        cycle = self.cycle
+        measure_start = self._measure_start_clock
+        meters = self.meters
         for source in self.sources:
-            generated = source.maybe_generate(self.cycle)
-            if generated is not None and self._in_measurement(generated):
-                self.meters.generated += 1
-            head = source.head()
+            generated = source.maybe_generate(cycle)
+            if (
+                generated is not None
+                and measure_start is not None
+                and generated.created_at >= measure_start
+            ):
+                meters.generated += 1
+            queue = source.queue
+            head = queue[0] if queue else None
             if head is None:
                 continue
-            if (
-                self.config.serialize_links
-                and self.cycle < self._source_free_at[source.port]
-            ):
+            if serialize and cycle < self._source_free_at[source.port]:
                 continue  # injection link still streaming a prior packet
-            entry = self.topology.entry_point(source.port)
-            switch = self.switches[0][entry.switch]
+            entry = self._entries[source.port]
+            switch = self._entry_switches[source.port]
             local_output = head.output_port_at_current_hop()
             if switch.can_accept(entry.port, local_output, head.size):
                 packet = source.dequeue()
-                if self.config.serialize_links and packet.size > 1:
-                    done = self.cycle + packet.size
+                if serialize and packet.size > 1:
+                    done = cycle + packet.size
                     self._source_free_at[source.port] = done
                     self._pending.setdefault(done - 1, []).append(
                         ("inject", 0, entry.switch, entry.port, packet)
@@ -367,10 +429,11 @@ class OmegaNetworkSimulator:
                     continue
                 # Injection completes at the end of this network cycle (the
                 # frame boundary), after the packet's mid-frame creation.
-                packet.injected_at = (self.cycle + 1) * self.config.cycle_clocks
+                packet.injected_at = (cycle + 1) * self.config.cycle_clocks
                 switch.receive(entry.port, packet, local_output)
+                self._stage_slots[0] += packet.size
                 if self._in_measurement(packet):
-                    self.meters.injected += 1
+                    meters.injected += 1
             elif discarding:
                 self._count_discard(source.dequeue())
 
@@ -384,6 +447,7 @@ class OmegaNetworkSimulator:
                 # The stage-0 input buffer is fed only by this source link,
                 # so the space checked at launch is still there.
                 self.switches[0][index].receive(port, packet, local_output)
+                self._stage_slots[0] += packet.size
                 if self._in_measurement(packet):
                     self.meters.injected += 1
             elif stage == self.topology.num_stages - 1:
@@ -402,10 +466,8 @@ class OmegaNetworkSimulator:
 
     def _sample_occupancy(self) -> None:
         if self._measure_start_clock is not None:
-            total = sum(
-                switch.occupancy for row in self.switches for switch in row
-            )
-            self.meters.occupancy.add(total)
+            # Per-stage counters already hold the per-switch sums.
+            self.meters.occupancy.add(sum(self._stage_slots))
 
     def _in_measurement(self, packet: Packet) -> bool:
         """Whether this packet counts toward the measurement window."""

@@ -21,7 +21,7 @@ from repro.core.packet import Packet, PacketFactory
 from repro.errors import ConfigurationError
 from repro.network.topology import OmegaTopology
 from repro.network.traffic import TrafficPattern
-from repro.utils.rng import RandomStream
+from repro.utils.rng import BatchedBernoulli, RandomStream
 
 __all__ = ["Source", "Sink"]
 
@@ -93,6 +93,9 @@ class Source:
         self.queue: deque[Packet] = deque()
         self.generated = 0
         self.stalled_cycles = 0
+        # Amortized Bernoulli coin; draws are bit-identical to calling
+        # ``rng.bernoulli(offered_load)`` every cycle.
+        self._coin = BatchedBernoulli(rng, offered_load)
 
     def maybe_generate(self, cycle: int) -> Packet | None:
         """Run one cycle of the Bernoulli generator.
@@ -104,16 +107,17 @@ class Source:
         if self.queue_capacity and len(self.queue) >= self.queue_capacity:
             self.stalled_cycles += 1
             return None
-        if not self.rng.bernoulli(self.offered_load):
+        if not self._coin.draw():
             return None
-        destination = self.pattern.destination(self.port, self.rng)
+        rng = self.rng
+        destination = self.pattern.destination(self.port, rng)
         # Creation instant is uniform inside the cycle's clock frame; the
         # packet becomes eligible for injection at the frame boundary.
-        offset = self.rng.randint(0, self.cycle_clocks)
+        offset = rng.randint(0, self.cycle_clocks)
         if self.packet_size_max is None:
             size = self.packet_size
         else:
-            size = self.rng.randint(self.packet_size, self.packet_size_max + 1)
+            size = rng.randint(self.packet_size, self.packet_size_max + 1)
         packet = self.factory.create(
             source=self.port,
             destination=destination,

@@ -59,6 +59,9 @@ class OmegaTopology:
         self.radix = radix
         self.num_stages = stages
         self.switches_per_stage = num_ports // radix
+        # Routes depend only on the destination digits, so one tuple per
+        # destination serves every packet (memoized on first use).
+        self._route_cache: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -107,6 +110,9 @@ class OmegaTopology:
     def route(self, source: int, destination: int) -> tuple[int, ...]:
         """Local output port to take at each stage (destination-digit rule)."""
         self._check_link(source)
+        cached = self._route_cache.get(destination)
+        if cached is not None:
+            return cached
         self._check_link(destination)
         digits = []
         value = destination
@@ -114,7 +120,9 @@ class OmegaTopology:
             digits.append(value % self.radix)
             value //= self.radix
         # Most-significant digit is consumed first.
-        return tuple(reversed(digits))
+        route = tuple(reversed(digits))
+        self._route_cache[destination] = route
+        return route
 
     def trace(self, source: int, destination: int) -> list[PortLocation]:
         """The (switch, input port) visited at every stage.

@@ -1,0 +1,118 @@
+"""Command-line entry point for the perf-trajectory harness.
+
+Examples::
+
+    # Quick benchmark of every experiment, written to BENCH.json:
+    python -m repro.perf --quick -o BENCH.json
+
+    # Compare against the committed baseline (CI perf-smoke job):
+    python -m repro.perf --quick -o BENCH.json \\
+        --baseline benchmarks/BENCH_2_quick.json --max-regression 3.0
+
+    # Profile one experiment's hot path:
+    python -m repro.perf --quick --profile figure3.prof figure3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import EXPERIMENTS
+from repro.perf.harness import (
+    compare_to_baseline,
+    load_bench,
+    run_harness,
+    write_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark the experiment pipeline and track the result.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to measure (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the shortened simulation windows (benchmark fidelity)",
+    )
+    parser.add_argument("--seed", type=int, default=1988)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per simulation grid (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the benchmark JSON here (e.g. BENCH.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare wall times against this earlier benchmark file",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=3.0,
+        help="fail when any experiment exceeds this multiple of its "
+        "baseline wall time (default: 3.0)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PROF",
+        help="run under cProfile and write stats to PROF "
+        "(inspect with python -m pstats)",
+    )
+    args = parser.parse_args(argv)
+
+    experiment_ids = args.experiments or None
+
+    def measure() -> dict:
+        return run_harness(
+            experiment_ids,
+            quick=args.quick,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        document = profiler.runcall(measure)
+        profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile}")
+    else:
+        document = measure()
+
+    if args.output:
+        path = write_bench(document, args.output)
+        print(f"benchmark written to {path}")
+
+    if args.baseline:
+        failures = compare_to_baseline(
+            document,
+            load_bench(args.baseline),
+            max_regression=args.max_regression,
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"within {args.max_regression:.1f}x of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Process-pool map over independent simulation runs.
+
+Every cell of the paper's tables is one :class:`NetworkConfig` simulated
+in isolation; all randomness derives from ``config.seed`` through named
+substreams, so a run's result does not depend on which process executes
+it or in what order.  ``parallel_simulate`` exploits that: it fans a list
+of configs over a :class:`~concurrent.futures.ProcessPoolExecutor` and
+returns results in input order, byte-identical to the serial loop.
+
+``jobs=1`` (the default everywhere) bypasses the pool entirely — the
+serial path runs the exact same ``simulate`` calls in the parent process,
+which keeps single-job behaviour free of multiprocessing overhead and
+makes the serial/parallel equivalence trivial to test.
+
+A worker that dies (segfault, OOM kill, ``os._exit``) surfaces as a
+:class:`~repro.errors.SimulationError` rather than a hang or a raw
+``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.network.metrics import SimulationResult
+    from repro.network.simulator import NetworkConfig
+
+__all__ = [
+    "parallel_map",
+    "parallel_simulate",
+    "resolve_jobs",
+    "reset_simulated_cycles",
+    "simulated_cycles",
+]
+
+#: Network cycles simulated through this module since the last reset
+#: (parent-process view; the perf harness reads this to report
+#: simulated-cycles-per-second).
+_cycles_simulated = 0
+
+
+def simulated_cycles() -> int:
+    """Network cycles routed through :func:`parallel_simulate` so far."""
+    return _cycles_simulated
+
+
+def reset_simulated_cycles() -> None:
+    """Zero the cycle counter (the harness calls this per experiment)."""
+    global _cycles_simulated
+    _cycles_simulated = 0
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a jobs request: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: int | None = 1,
+) -> list:
+    """``[fn(item) for item in items]``, optionally over a process pool.
+
+    ``fn`` and every item must be picklable (``fn`` defined at module top
+    level).  Results come back in input order.  Exceptions raised *inside*
+    a worker propagate unchanged; a worker process that dies outright is
+    reported as :class:`SimulationError`.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except BrokenProcessPool as exc:
+        raise SimulationError(
+            "a simulation worker process died before returning its result "
+            "(crashed or killed); rerun with jobs=1 to debug in-process"
+        ) from exc
+
+
+def _simulate_task(task: tuple) -> "SimulationResult":
+    """Pool worker: run one (config, warmup, measure) simulation."""
+    # Imported here (cached after the first call) so this module can be
+    # imported by repro.network.saturation without a circular import.
+    from repro.network.simulator import simulate
+
+    config, warmup_cycles, measure_cycles = task
+    return simulate(config, warmup_cycles, measure_cycles)
+
+
+def parallel_simulate(
+    configs: Sequence["NetworkConfig"],
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 10000,
+    jobs: int | None = 1,
+) -> list["SimulationResult"]:
+    """Simulate every config, in input order, over ``jobs`` processes.
+
+    Per-config seeding makes the result list byte-identical for any
+    ``jobs`` value; ``jobs=1`` is a plain serial loop in this process.
+    """
+    global _cycles_simulated
+    configs = list(configs)
+    _cycles_simulated += (warmup_cycles + measure_cycles) * len(configs)
+    return parallel_map(
+        _simulate_task,
+        [(config, warmup_cycles, measure_cycles) for config in configs],
+        jobs=jobs,
+    )

@@ -22,7 +22,7 @@ blocked under the discarding protocol).
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
@@ -34,9 +34,13 @@ __all__ = ["Grant", "CrossbarArbiter", "make_arbiter", "ARBITER_KINDS"]
 BlockedPredicate = Callable[[int, int, Packet], bool]
 
 
-@dataclass(frozen=True)
-class Grant:
-    """One arbitration decision: transmit ``packet`` from input to output."""
+class Grant(NamedTuple):
+    """One arbitration decision: transmit ``packet`` from input to output.
+
+    A named tuple rather than a (frozen) dataclass: grants are created on
+    the simulator's innermost loop, and tuple construction is markedly
+    cheaper than frozen-dataclass field assignment.
+    """
 
     input_port: int
     output_port: int
@@ -65,6 +69,12 @@ class CrossbarArbiter:
         self._priority = 0
         # stale[i][o]: cycles queue (i, o) has waited non-empty and unserved.
         self._stale = [[0] * num_outputs for _ in range(num_inputs)]
+        # Examination order for each priority-pointer value, precomputed so
+        # arbitrate() does not rebuild the rotation every cycle.
+        self._orders = [
+            [(priority + offset) % num_inputs for offset in range(num_inputs)]
+            for priority in range(num_inputs)
+        ]
 
     @property
     def kind(self) -> str:
@@ -83,6 +93,7 @@ class CrossbarArbiter:
         self,
         buffers: Sequence[SwitchBuffer],
         blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
     ) -> list[Grant]:
         """Choose this cycle's transmissions.
 
@@ -91,90 +102,101 @@ class CrossbarArbiter:
         buffers still have unused read ports (this is what lets an SAFC
         buffer feed several outputs in one cycle).  Returns the grants and
         updates the fairness state.
+
+        ``lengths`` optionally supplies the per-buffer queue-length rows
+        (callers holding live views — see
+        :attr:`~repro.core.buffer.SwitchBuffer.lengths_are_live` — pass
+        them to skip the per-cycle snapshot).  Buffer state is constant
+        during arbitration (pops happen at execution), so either form is
+        a consistent snapshot.
         """
         if len(buffers) != self.num_inputs:
             raise ConfigurationError(
                 f"expected {self.num_inputs} buffers, got {len(buffers)}"
             )
+        if lengths is None:
+            lengths = [buffer.queue_lengths() for buffer in buffers]
         grants: list[Grant] = []
         output_free = [True] * self.num_outputs
         reads_left = [buffer.max_reads_per_cycle for buffer in buffers]
-        order = [
-            (self._priority + offset) % self.num_inputs
-            for offset in range(self.num_inputs)
-        ]
+        order = self._orders[self._priority]
+        smart = self.smart
+        stale = self._stale
 
         # Each pass grants at most one packet per buffer; further passes
-        # only matter for buffers with spare read ports (SAFC).
+        # only matter for buffers with spare read ports (SAFC).  The
+        # longest-unblocked-queue scan is inlined here — this loop runs
+        # once per switch per simulated cycle.
         outputs_left = self.num_outputs
+        active_inputs = self.num_inputs
         made_progress = True
-        while made_progress and outputs_left:
+        while made_progress and outputs_left and active_inputs:
             made_progress = False
             for input_port in order:
                 if reads_left[input_port] == 0:
                     continue
-                choice = self._pick_queue(
-                    input_port, buffers[input_port], output_free, blocked
-                )
-                if choice is None:
-                    reads_left[input_port] = 0  # nothing to offer this cycle
+                buffer_lengths = lengths[input_port]
+                stale_row = stale[input_port] if smart else None
+                peek = buffers[input_port].peek
+                # Longest unblocked queue; ties broken by stale count,
+                # then toward the lowest output index (the scan order).
+                best_length = 0
+                best_stale = -1
+                best_output = -1
+                best_packet: Packet | None = None
+                for output_port, length in enumerate(buffer_lengths):
+                    # An empty queue offers nothing; skip before peeking.
+                    if length == 0 or not output_free[output_port]:
+                        continue
+                    packet = peek(output_port)
+                    if packet is None:
+                        continue
+                    if blocked(input_port, output_port, packet):
+                        continue
+                    queue_stale = (
+                        stale_row[output_port] if stale_row is not None else 0
+                    )
+                    if length > best_length or (
+                        length == best_length and queue_stale > best_stale
+                    ):
+                        best_length = length
+                        best_stale = queue_stale
+                        best_output = output_port
+                        best_packet = packet
+                if best_packet is None:
+                    # Empty buffer, or nothing to offer this cycle.
+                    reads_left[input_port] = 0
+                    active_inputs -= 1
                     continue
-                output_port, packet = choice
-                grants.append(Grant(input_port, output_port, packet))
-                output_free[output_port] = False
+                grants.append(Grant(input_port, best_output, best_packet))
+                output_free[best_output] = False
                 reads_left[input_port] -= 1
+                if reads_left[input_port] == 0:
+                    active_inputs -= 1
                 outputs_left -= 1
                 made_progress = True
                 if not outputs_left:
                     break
 
-        self._update_fairness(buffers, grants)
+        self._update_fairness(lengths, grants)
         return grants
 
-    def _pick_queue(
-        self,
-        input_port: int,
-        buffer: SwitchBuffer,
-        output_free: list[bool],
-        blocked: BlockedPredicate,
-    ) -> tuple[int, Packet] | None:
-        """Longest unblocked queue of one buffer (stale-count tie-break)."""
-        best: tuple[int, int, int] | None = None  # (length, stale, -output)
-        best_output = -1
-        best_packet: Packet | None = None
-        for output_port in range(self.num_outputs):
-            if not output_free[output_port]:
-                continue
-            packet = buffer.peek(output_port)
-            if packet is None:
-                continue
-            if blocked(input_port, output_port, packet):
-                continue
-            length = buffer.queue_length(output_port)
-            stale = self._stale[input_port][output_port] if self.smart else 0
-            key = (length, stale, -output_port)
-            if best is None or key > best:
-                best = key
-                best_output = output_port
-                best_packet = packet
-        if best_packet is None:
-            return None
-        return best_output, best_packet
-
     def _update_fairness(
-        self, buffers: Sequence[SwitchBuffer], grants: list[Grant]
+        self, lengths: Sequence[list[int]], grants: list[Grant]
     ) -> None:
         """Advance the round-robin pointer and the stale counts."""
-        served = {(grant.input_port, grant.output_port) for grant in grants}
-        served_inputs = {grant.input_port for grant in grants}
-        for input_port, buffer in enumerate(buffers):
-            for output_port in range(self.num_outputs):
-                if (input_port, output_port) in served:
-                    self._stale[input_port][output_port] = 0
-                elif buffer.queue_length(output_port) > 0:
-                    self._stale[input_port][output_port] += 1
-                else:
-                    self._stale[input_port][output_port] = 0
+        # Age every waiting queue first, then zero the served ones: the
+        # result is identical to checking membership cell by cell.
+        for stale_row, buffer_lengths in zip(self._stale, lengths):
+            for output_port, length in enumerate(buffer_lengths):
+                if length > 0:
+                    stale_row[output_port] += 1
+                elif stale_row[output_port]:
+                    stale_row[output_port] = 0
+        served_inputs = set()
+        for grant in grants:
+            self._stale[grant.input_port][grant.output_port] = 0
+            served_inputs.add(grant.input_port)
         if self.smart:
             # Do not burn the priority turn of a buffer that could not
             # transmit: advance only when the priority buffer was served.

@@ -56,7 +56,7 @@ class Crossbar:
                 f"output {output_port} already driven by input "
                 f"{self._source[output_port]}"
             )
-        if self.fanout(input_port) >= self.max_fanout:
+        if self._source.count(input_port) >= self.max_fanout:
             raise ProtocolError(
                 f"input {input_port} already drives {self.fanout(input_port)} "
                 f"outputs (fan-out limit {self.max_fanout})"

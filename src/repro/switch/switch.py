@@ -15,7 +15,7 @@ from collections.abc import Callable
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
-from repro.errors import BufferFullError, ConfigurationError
+from repro.errors import ConfigurationError
 from repro.switch.arbiter import BlockedPredicate, CrossbarArbiter, Grant
 from repro.switch.crossbar import Crossbar
 
@@ -68,6 +68,16 @@ class Switch:
         # Lifetime counters (reset by the simulator at end of warm-up).
         self.packets_received = 0
         self.packets_forwarded = 0
+        # Occupied slots, maintained incrementally so the per-cycle
+        # idle-switch check does not re-sum every buffer.
+        self._occupancy = 0
+        # Permanent queue-length views, when every buffer exposes a live
+        # row: saves the arbiter a snapshot per switch per cycle.
+        self._live_lengths = (
+            [buffer.queue_lengths() for buffer in self.buffers]
+            if all(buffer.lengths_are_live for buffer in self.buffers)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Receive side (called by the simulator when a packet arrives)
@@ -75,21 +85,22 @@ class Switch:
 
     def can_accept(self, input_port: int, local_output: int, size: int = 1) -> bool:
         """Whether the buffer at ``input_port`` can take such a packet now."""
-        self._check_input(input_port)
+        if not 0 <= input_port < self.num_inputs:
+            self._check_input(input_port)
         return self.buffers[input_port].can_accept(local_output, size)
 
     def receive(self, input_port: int, packet: Packet, local_output: int) -> None:
         """Store an arriving packet on its routed queue.
 
         Propagates :class:`~repro.errors.BufferFullError` so the caller can
-        implement the discarding protocol.
+        implement the discarding protocol; ``packets_received`` counts
+        only packets actually stored.
         """
-        self._check_input(input_port)
-        try:
-            self.buffers[input_port].push(packet, local_output)
-        except BufferFullError:
-            raise
+        if not 0 <= input_port < self.num_inputs:
+            self._check_input(input_port)
+        self.buffers[input_port].push(packet, local_output)
         self.packets_received += 1
+        self._occupancy += packet.size
 
     # ------------------------------------------------------------------
     # Transmit side (one call per network cycle)
@@ -97,7 +108,7 @@ class Switch:
 
     def plan_transmissions(self, blocked: BlockedPredicate) -> list[Grant]:
         """Arbitrate the crossbar for this cycle and validate connections."""
-        grants = self.arbiter.arbitrate(self.buffers, blocked)
+        grants = self.arbiter.arbitrate(self.buffers, blocked, self._live_lengths)
         self.crossbar.reset()
         for grant in grants:
             self.crossbar.connect(grant.input_port, grant.output_port)
@@ -112,6 +123,7 @@ class Switch:
                 f"arbitration and execution"
             )
         self.packets_forwarded += 1
+        self._occupancy -= packet.size
         return packet
 
     # ------------------------------------------------------------------
@@ -120,8 +132,12 @@ class Switch:
 
     @property
     def occupancy(self) -> int:
-        """Total packets buffered across all input ports."""
-        return sum(buffer.occupancy for buffer in self.buffers)
+        """Total slots buffered across all input ports.
+
+        Maintained incrementally by :meth:`receive`/:meth:`execute`;
+        accurate as long as packets enter and leave through those methods.
+        """
+        return self._occupancy
 
     def reset_counters(self) -> None:
         """Zero the receive/forward counters (end of warm-up)."""

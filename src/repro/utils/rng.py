@@ -14,7 +14,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["RandomStream", "spawn_streams"]
+__all__ = ["RandomStream", "BatchedBernoulli", "spawn_streams"]
 
 
 def _seed_for(root_seed: int, name: str) -> int:
@@ -87,6 +87,115 @@ class RandomStream:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RandomStream(seed={self.seed}, name={self.name!r})"
+
+
+class BatchedBernoulli:
+    """Repeated Bernoulli draws from one stream, amortized over blocks.
+
+    Vectorized generation is much cheaper per draw than scalar calls, but
+    a consumer that interleaves other draws (packet destinations, offsets)
+    on the same stream needs the *scalar* sequence preserved exactly.
+    This coin pre-draws a block of uniforms and, whenever a draw comes up
+    ``True``, rewinds the generator past the unused tail of the block —
+    every draw on the stream after that point is identical to calling
+    :meth:`RandomStream.bernoulli` once per draw.
+
+    Two bit-generator details make the rewind exact (PCG64):
+
+    * ``advance`` moves the raw state by one step per generated double,
+      with period ``2**128`` — so ``advance(-unused)`` lands precisely
+      after the consumed draw;
+    * bounded ``integers`` draws consume *half* a 64-bit word and cache
+      the other half inside the bit generator.  ``advance`` clears that
+      cache while the scalar path would have kept it, so the cache is
+      snapshotted at refill time (uniform doubles never touch it) and
+      patched back after a rewind.
+
+    Batching only pays when misses dominate; above ``_SCALAR_THRESHOLD``
+    the coin simply draws scalars, which is trivially stream-exact.
+    """
+
+    #: State-transition period of numpy's default PCG64 bit generator.
+    _PERIOD = 1 << 128
+
+    #: Probabilities above this use plain scalar draws: with frequent hits
+    #: the rewind bookkeeping outweighs the vectorization win.
+    _SCALAR_THRESHOLD = 0.25
+
+    __slots__ = (
+        "probability",
+        "_gen",
+        "_bit",
+        "_block",
+        "_buffer",
+        "_pos",
+        "_cache_has",
+        "_cache_val",
+    )
+
+    def __init__(
+        self,
+        stream: RandomStream,
+        probability: float,
+        block: int | None = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.probability = probability
+        self._gen = stream._gen
+        self._bit = self._gen.bit_generator
+        if block is None:
+            # A few expected inter-arrival gaps per refill; only relevant
+            # below the scalar threshold, where this is at least 16.
+            block = (
+                16
+                if probability <= 0.0
+                else max(16, min(1024, int(4.0 / probability)))
+            )
+        if block < 1:
+            raise ValueError(f"block size must be >= 1, got {block}")
+        self._block = block
+        self._buffer = None
+        self._pos = 0
+        self._cache_has = 0
+        self._cache_val = 0
+
+    def draw(self) -> bool:
+        """One Bernoulli draw, bit-identical to ``stream.bernoulli(p)``."""
+        probability = self.probability
+        if probability == 0.0:
+            return False
+        if probability == 1.0:
+            return True
+        if probability > self._SCALAR_THRESHOLD:
+            return bool(self._gen.random() < probability)
+        buffer = self._buffer
+        if buffer is None:
+            # Snapshot the half-word cache left behind by bounded-integer
+            # draws; the uniform doubles below leave it untouched.
+            state = self._bit.state
+            self._cache_has = state["has_uint32"]
+            self._cache_val = state["uinteger"]
+            buffer = self._buffer = self._gen.random(self._block)
+            self._pos = 0
+        hit = bool(buffer[self._pos] < probability)
+        self._pos += 1
+        if hit:
+            unused = self._block - self._pos
+            if unused:
+                # Step the generator state *back* over the unused draws so
+                # the next draw on the stream (from anyone) sees exactly
+                # the state a scalar sequence would have left.
+                self._bit.advance(self._PERIOD - unused)
+                if self._cache_has:
+                    state = self._bit.state
+                    state["has_uint32"] = self._cache_has
+                    state["uinteger"] = self._cache_val
+                    self._bit.state = state
+            self._buffer = None
+        elif self._pos == self._block:
+            self._buffer = None
+        return hit
 
 
 def spawn_streams(seed: int, names: Sequence[str]) -> dict[str, RandomStream]:

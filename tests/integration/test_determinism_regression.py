@@ -1,0 +1,103 @@
+"""Bit-level determinism pins for the simulator's hot path.
+
+These two checksums were recorded from the reference implementation (seed
+1988, the paper's publication year) and must never drift: every metric —
+including the *float accumulation state* of the latency statistics, which
+is sensitive to switch iteration order and RNG draw order — is pinned
+exactly.  Any hot-path "optimization" that reorders arbitration, buffer
+operations, or random draws will trip this test even when the aggregate
+curves still look plausible.
+
+If this test fails, the change is NOT a safe refactor.  Do not update the
+pinned values unless the simulation semantics were changed on purpose (and
+EXPERIMENTS.md regenerated to match).
+"""
+
+import pytest
+
+from repro.network.simulator import NetworkConfig, OmegaNetworkSimulator
+from repro.switch.flow_control import Protocol
+
+#: Simulation window shared by both pins (cycles).
+WARMUP, MEASURE = 200, 800
+
+PINNED = {
+    "blocking_damq": {
+        "config": dict(
+            num_ports=16,
+            radix=4,
+            buffer_kind="DAMQ",
+            slots_per_buffer=4,
+            protocol=Protocol.BLOCKING,
+            offered_load=0.6,
+            seed=1988,
+        ),
+        "expected": {
+            "generated": 7761,
+            "injected": 7761,
+            "delivered": 7725,
+            "discarded": 0,
+            "latency_count": 7725,
+            "latency_mean": 56.314951456310666,
+            "latency_m2": 6149042.723106821,
+            "latency_min": 25,
+            "latency_max": 286,
+            "net_latency_mean": 49.68388349514563,
+            "occupancy_mean": 40.21124999999998,
+            "occupancy_max": 59,
+        },
+    },
+    "discarding_fifo": {
+        "config": dict(
+            num_ports=16,
+            radix=4,
+            buffer_kind="FIFO",
+            slots_per_buffer=4,
+            protocol=Protocol.DISCARDING,
+            offered_load=0.6,
+            seed=1988,
+        ),
+        "expected": {
+            "generated": 7668,
+            "injected": 7664,
+            "delivered": 7228,
+            "discarded": 369,
+            "latency_count": 7228,
+            "latency_mean": 89.73049252905406,
+            "latency_m2": 15290220.99944661,
+            "latency_min": 25,
+            "latency_max": 291,
+            "net_latency_mean": 76.5390149418926,
+            "occupancy_mean": 60.254999999999995,
+            "occupancy_max": 83,
+        },
+    },
+}
+
+
+def checksum(meters) -> dict:
+    """Every counter plus the raw Welford state of the latency stats."""
+    return {
+        "generated": meters.generated,
+        "injected": meters.injected,
+        "delivered": meters.delivered,
+        "discarded": meters.discarded,
+        "latency_count": meters.latency.count,
+        "latency_mean": meters.latency.mean,
+        "latency_m2": meters.latency._m2,
+        "latency_min": meters.latency.minimum,
+        "latency_max": meters.latency.maximum,
+        "net_latency_mean": meters.network_latency.mean,
+        "occupancy_mean": meters.occupancy.mean,
+        "occupancy_max": meters.occupancy.maximum,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_seed_1988_checksums_unchanged(name):
+    pin = PINNED[name]
+    simulator = OmegaNetworkSimulator(NetworkConfig(**pin["config"]))
+    simulator.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    actual = checksum(simulator.meters)
+    # Exact comparison on purpose — floats included (see module docstring).
+    assert actual == pin["expected"]
