@@ -1,0 +1,55 @@
+"""Static analysis and runtime sanitizing for the repro codebase.
+
+The paper's results rest on two contracts nothing in the language enforces:
+
+* **Bit-reproducibility** — every stochastic draw flows through the seeded,
+  named streams of :mod:`repro.utils.rng`; no wall-clock reads or
+  iteration-order hazards may leak into a simulation path (the PR 2
+  determinism pins turn any violation into a test failure, but only after
+  the fact).
+* **Hardware feasibility** — the Section 3.1 micro-architecture gives each
+  buffer one write port and a bounded number of read ports per clock, and
+  keeps every slot on exactly one linked list.  A modeling bug that
+  performs more RAM accesses per cycle than the register file allows, or
+  corrupts the pointer RAM, silently produces results no chip could.
+
+This package enforces both:
+
+* :mod:`repro.analysis.lint` — an AST linter with repo-specific rules
+  (REP001..REP006), run as ``python -m repro.analysis lint src tests`` or
+  via the ``repro-lint`` console script.  Findings are suppressed per line
+  with ``# repro: noqa=REPxxx`` comments.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime instrumentation
+  layer (``REPRO_SANITIZE=1`` or ``sanitize=True``) in the spirit of
+  ASan/TSan: it wraps :class:`~repro.core.linkedlist.SlotListManager` and
+  the four :class:`~repro.core.buffer.SwitchBuffer` implementations to
+  detect slot use-after-free, double-free, pointer cycles/leaks, and
+  per-cycle port-bandwidth violations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import Finding, LintRule, RULES, lint_paths, lint_source
+from repro.analysis.report import render_json, render_text
+from repro.analysis.sanitizer import (
+    HardwareSanitizer,
+    SanitizedOmegaNetworkSimulator,
+    SanitizedSlotListManager,
+    Violation,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "HardwareSanitizer",
+    "LintRule",
+    "RULES",
+    "SanitizedOmegaNetworkSimulator",
+    "SanitizedSlotListManager",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "sanitize_enabled",
+]

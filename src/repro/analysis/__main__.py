@@ -1,0 +1,133 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-lint``.
+
+Sub-commands
+------------
+``lint [paths...]``
+    Run the REPxxx linter over the given files/directories (default:
+    ``src tests``).  ``--format json`` emits the versioned report
+    consumed by CI annotations.  Exits non-zero on any finding.
+
+``rules``
+    Print every rule's code and normative description.
+
+``sanitize``
+    Run a short, sanitizer-enabled Omega simulation (the CI smoke run)
+    and print the violation report.  Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint import RULES, lint_paths
+from repro.analysis.report import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    findings, checked = lint_paths(args.paths)
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",")}
+        findings = [finding for finding in findings if finding.code in wanted]
+    if args.format == "json":
+        print(render_json(findings, checked))
+    else:
+        print(render_text(findings, checked))
+    return 1 if findings else 0
+
+
+def _cmd_rules(_args: argparse.Namespace) -> int:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code}: {rule.summary()}")
+        for line in rule.doc().splitlines()[1:]:
+            print(f"    {line}" if line else "")
+        print()
+    return 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    # Imported here so plain lint runs never pull in numpy/the simulator.
+    from repro.analysis.sanitizer import SanitizedOmegaNetworkSimulator
+    from repro.network.simulator import NetworkConfig
+
+    config = NetworkConfig(
+        num_ports=args.ports,
+        radix=4,
+        buffer_kind=args.buffer,
+        slots_per_buffer=4,
+        offered_load=args.load,
+        seed=args.seed,
+    )
+    simulator = SanitizedOmegaNetworkSimulator(config)
+    result = simulator.run(
+        warmup_cycles=args.warmup, measure_cycles=args.cycles
+    )
+    print(
+        f"simulated {args.buffer} {args.ports}x{args.ports} omega network: "
+        f"{result.meters.delivered} delivered over {args.cycles} cycles"
+    )
+    print(simulator.sanitizer.render())
+    return 0 if simulator.sanitizer.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a sub-command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis and hardware-model sanitizing for the "
+        "repro codebase.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the REPxxx determinism linter"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to report (default: all)",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
+
+    rules_parser = subparsers.add_parser(
+        "rules", help="describe every lint rule"
+    )
+    rules_parser.set_defaults(handler=_cmd_rules)
+
+    sanitize_parser = subparsers.add_parser(
+        "sanitize",
+        help="run a short sanitizer-enabled Omega simulation (CI smoke)",
+    )
+    sanitize_parser.add_argument("--buffer", default="DAMQ")
+    sanitize_parser.add_argument("--ports", type=int, default=16)
+    sanitize_parser.add_argument("--load", type=float, default=0.6)
+    sanitize_parser.add_argument("--seed", type=int, default=1988)
+    sanitize_parser.add_argument("--warmup", type=int, default=100)
+    sanitize_parser.add_argument("--cycles", type=int, default=400)
+    sanitize_parser.set_defaults(handler=_cmd_sanitize)
+
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

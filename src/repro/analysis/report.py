@@ -1,0 +1,67 @@
+"""Rendering of lint findings for humans (text) and tooling (JSON).
+
+The JSON document is versioned so CI annotations and future tooling can
+consume it without scraping the text form:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_checked": 120,
+      "findings": [
+        {"code": "REP004", "path": "...", "line": 7, "column": 12,
+         "message": "...", "summary": "..."}
+      ],
+      "counts": {"REP004": 1},
+      "clean": false
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.lint import Finding, RULES
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+
+def _counts(findings: Sequence[Finding]) -> dict[str, int]:
+    counter = Counter(finding.code for finding in findings)
+    return {code: counter[code] for code in sorted(counter)}
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        per_code = ", ".join(
+            f"{code}: {count}" for code, count in _counts(findings).items()
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {files_checked} file(s) "
+            f"({per_code})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """Versioned JSON report (see module docstring for the schema)."""
+    document = {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "findings": [finding.as_dict() for finding in findings],
+        "counts": _counts(findings),
+        "clean": not findings,
+        "rules": {
+            code: rule.summary() for code, rule in sorted(RULES.items())
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.chip.output_port import OutputPort
 from repro.chip.slots import DamqBufferHw
 from repro.chip.trace import TraceRecorder
+from repro.errors import InvariantError
 
 __all__ = ["ChipArbiter"]
 
@@ -72,7 +73,11 @@ class ChipArbiter:
                 continue
             buffer = buffers[best_input]
             packet = buffer.head_packet(output_id)
-            assert packet is not None
+            if packet is None:
+                raise InvariantError(
+                    f"{self.chip_name}: buffer {best_input} advertised a "
+                    f"transmittable head for output {output_id} but holds none"
+                )
             port.grant(buffer, packet, cycle)
             granted_buffers.add(best_input)
             self._stale[best_input][output_id] = 0

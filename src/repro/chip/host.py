@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.chip.comcobb import ComCoBBChip, PROCESSOR_PORT
 from repro.chip.trace import TraceRecorder
 from repro.chip.wires import START, Link, xor_checksum
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, InvariantError, ProtocolError
 
 __all__ = ["HostAdapter", "ReceivedMessage", "packetize", "LENGTH_PREFIX_BYTES"]
 
@@ -175,7 +175,10 @@ class HostAdapter:
                 if self._degrading:
                     # Framing lost mid-packet: drop the partial packet and
                     # resynchronize on this start bit.
-                    assert self.chip.faults is not None
+                    if self.chip.faults is None:
+                        raise InvariantError(
+                            f"{self.chip.name}: degrading without a fault policy"
+                        )
                     self.chip.faults.counters.resyncs += 1
                     self._record(cycle, "start bit mid-packet; resyncing")
                 else:
@@ -185,7 +188,10 @@ class HostAdapter:
             self._rx_state = "header"
             self._rx_checksum = 0
             return
-        assert isinstance(value, int)
+        if not isinstance(value, int):
+            raise InvariantError(
+                f"{self.chip.name}: non-byte symbol {value!r} on delivery wire"
+            )
         if self._rx_state == "header":
             self._rx_tag = value
             self._rx_checksum ^= value
@@ -213,7 +219,10 @@ class HostAdapter:
                     f"{self.chip.name}: host checksum mismatch (expected "
                     f"{self._rx_checksum & 0xFF}, got {value})"
                 )
-            assert self.chip.faults is not None
+            if self.chip.faults is None:
+                raise InvariantError(
+                    f"{self.chip.name}: degrading without a fault policy"
+                )
             self.chip.faults.counters.host_checksum_failures += 1
             # The packet is unusable and leaves an unfillable hole in its
             # message, so discard the whole reassembly for this tag: the
@@ -229,14 +238,20 @@ class HostAdapter:
             self._rx_tag = None
         else:
             if self._degrading:
-                assert self.chip.faults is not None
+                if self.chip.faults is None:
+                    raise InvariantError(
+                        f"{self.chip.name}: degrading without a fault policy"
+                    )
                 self.chip.faults.counters.stray_symbols += 1
                 self._record(cycle, f"stray byte {value} ignored (fault)")
                 return
             raise ProtocolError(f"{self.chip.name}: byte {value} while idle")
 
     def _finish_packet(self, cycle: int) -> None:
-        assert self._rx_tag is not None
+        if self._rx_tag is None:
+            raise InvariantError(
+                f"{self.chip.name}: packet finished with no delivery tag"
+            )
         self.packets_delivered += 1
         assembly = self._assembling.setdefault(self._rx_tag, _Reassembly())
         assembly.data.extend(self._rx_bytes)
@@ -244,7 +259,10 @@ class HostAdapter:
         assembly.last_cycle = cycle
         if assembly.complete():
             declared = assembly.declared_length()
-            assert declared is not None
+            if declared is None:
+                raise InvariantError(
+                    f"{self.chip.name}: complete reassembly with no length"
+                )
             payload = bytes(
                 assembly.data[
                     LENGTH_PREFIX_BYTES : LENGTH_PREFIX_BYTES + declared

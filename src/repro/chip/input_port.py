@@ -49,7 +49,12 @@ from repro.chip.slots import DamqBufferHw, HwPacket
 from repro.chip.synchronizer import Synchronizer
 from repro.chip.trace import TraceRecorder
 from repro.chip.wires import START, Link
-from repro.errors import BufferFullError, ProtocolError, RoutingError
+from repro.errors import (
+    BufferFullError,
+    InvariantError,
+    ProtocolError,
+    RoutingError,
+)
 
 __all__ = ["InputPort", "DEFAULT_STOP_THRESHOLD"]
 
@@ -148,7 +153,10 @@ class InputPort:
             pass  # swallowing a corrupt packet's remains
         else:
             if self._degrading:
-                assert self.faults is not None
+                if self.faults is None:
+                    raise InvariantError(
+                        f"{self.name}: degrading without a fault policy"
+                    )
                 self.faults.counters.stray_symbols += 1
                 self._record(cycle, f"stray byte {released} ignored (fault)")
                 return
@@ -160,7 +168,10 @@ class InputPort:
         """A start bit left the synchronizer."""
         if self._state in (_ReceiveState.IDLE, _ReceiveState.DISCARD):
             if self._state is _ReceiveState.DISCARD:
-                assert self.faults is not None
+                if self.faults is None:
+                    raise InvariantError(
+                        f"{self.name}: discard state without a fault policy"
+                    )
                 self.faults.counters.resyncs += 1
                 self._record(cycle, "resynchronized on start bit")
             self._state = _ReceiveState.HEADER
@@ -170,7 +181,10 @@ class InputPort:
             # A start bit inside a packet means framing was lost (a
             # corrupted length byte, most likely).  Contain the damage
             # and treat the start bit as the beginning of a new packet.
-            assert self.faults is not None
+            if self.faults is None:
+                raise InvariantError(
+                    f"{self.name}: degrading without a fault policy"
+                )
             self.faults.counters.resyncs += 1
             self._abandon_current(cycle, "start bit inside a packet")
             self._state = _ReceiveState.HEADER
@@ -190,7 +204,10 @@ class InputPort:
             )
         except (RoutingError, ProtocolError, BufferFullError) as error:
             if self._degrading:
-                assert self.faults is not None
+                if self.faults is None:
+                    raise InvariantError(
+                        f"{self.name}: degrading without a fault policy"
+                    ) from error
                 if isinstance(error, BufferFullError):
                     self.faults.counters.receive_overflows += 1
                 else:
@@ -212,13 +229,17 @@ class InputPort:
 
     def _receive_length(self, cycle: int, length: int) -> None:
         """Length decode (cycle 3 of Table 1)."""
-        assert self._current is not None
+        if self._current is None:
+            raise InvariantError(f"{self.name}: length byte with no packet")
         self._checksum ^= length
         try:
             self.buffer.set_length(self._current, length)
         except ProtocolError:
             if self._degrading:
-                assert self.faults is not None
+                if self.faults is None:
+                    raise InvariantError(
+                        f"{self.name}: degrading without a fault policy"
+                    ) from None
                 self.faults.counters.length_faults += 1
                 # Length never loaded, so the packet was never
                 # transmittable: aborting is always possible here.
@@ -236,7 +257,8 @@ class InputPort:
 
     def _receive_data(self, cycle: int, byte: int) -> None:
         """One data byte into the buffer (cycles 4+ of Table 1)."""
-        assert self._current is not None
+        if self._current is None:
+            raise InvariantError(f"{self.name}: data byte with no packet")
         if self._current.poisoned and self._current.fully_written:
             # The transmit side already padded this packet out (read
             # underrun after a corrupted length byte); the sender's real
@@ -257,7 +279,8 @@ class InputPort:
 
     def _receive_checksum(self, cycle: int, byte: int) -> None:
         """Verify the link checksum accumulated over the packet."""
-        assert self._current is not None
+        if self._current is None:
+            raise InvariantError(f"{self.name}: checksum byte with no packet")
         if byte == self._checksum & 0xFF:
             self._record(cycle, "EOP: checksum verified")
             self.packets_received += 1
@@ -269,7 +292,10 @@ class InputPort:
                 f"{self.name}: checksum mismatch (expected "
                 f"{self._checksum & 0xFF}, got {byte})"
             )
-        assert self.faults is not None
+        if self.faults is None:
+            raise InvariantError(
+                f"{self.name}: degrading without a fault policy"
+            )
         self.faults.counters.checksum_failures += 1
         packet = self._current
         if packet.transmit_started:
@@ -287,7 +313,10 @@ class InputPort:
 
     def _abandon_current(self, cycle: int, reason: str) -> None:
         """Contain a packet cut off mid-reception (degrade mode only)."""
-        assert self.faults is not None
+        if self.faults is None:
+            raise InvariantError(
+                f"{self.name}: abandoning a packet without a fault policy"
+            )
         packet = self._current
         self._current = None
         if packet is None:

@@ -22,7 +22,7 @@ from repro.chip.degrade import ChipFaultPolicy
 from repro.chip.slots import DamqBufferHw, HwPacket
 from repro.chip.trace import TraceRecorder
 from repro.chip.wires import START, Link
-from repro.errors import ProtocolError
+from repro.errors import InvariantError, ProtocolError
 
 __all__ = ["OutputPort"]
 
@@ -113,7 +113,8 @@ class OutputPort:
             return
         self.link.data.drive(self._pending)
         if self._pending_is_start:
-            assert self._packet is not None
+            if self._packet is None:
+                raise InvariantError(f"{self.name}: start bit pending with no packet")
             self._packet.start_driven_cycle = cycle
             self._record(cycle, "start bit driven")
             self._pending_is_start = False
@@ -130,7 +131,8 @@ class OutputPort:
             # only in the grant cycle, whose latch slot was used for the
             # start bit.
             return
-        assert self._packet is not None and self._buffer is not None
+        if self._packet is None or self._buffer is None:
+            raise InvariantError(f"{self.name}: mid-packet state with no connection")
         checksummed = self.faults is not None and self.faults.checksum
         if self._state is _SendState.HEADER:
             self._pending = self._packet.new_header
@@ -179,7 +181,8 @@ class OutputPort:
 
     def _disconnect(self, cycle: int) -> None:
         """Tear down the crossbar connection after the final byte."""
-        assert self._buffer is not None and self._packet is not None
+        if self._buffer is None or self._packet is None:
+            raise InvariantError(f"{self.name}: disconnect with no connection")
         self._buffer.finish_packet(self._packet)
         self._buffer.reader_active = False
         self._record(
@@ -193,7 +196,8 @@ class OutputPort:
         self._state = _SendState.IDLE
 
     def _turnaround(self) -> object:
-        assert self._packet is not None
+        if self._packet is None:
+            raise InvariantError(f"{self.name}: turnaround queried with no packet")
         if (
             self._packet.start_sampled_cycle is None
             or self._packet.start_driven_cycle is None

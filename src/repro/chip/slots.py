@@ -228,7 +228,10 @@ class DamqBufferHw:
         offset = packet.bytes_read % self.slot_bytes
         slot = packet.slots[slot_index]
         byte = self.data[slot][offset]
-        assert byte is not None
+        if byte is None:
+            raise InvariantError(
+                f"slot {slot} cell {offset} read before it was written"
+            )
         packet.bytes_read += 1
         is_slot_end = offset == self.slot_bytes - 1 or packet.fully_read
         if is_slot_end and packet.slots_released <= slot_index:

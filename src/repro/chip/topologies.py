@@ -12,6 +12,8 @@ network port on both nodes.
 
 from __future__ import annotations
 
+from typing import Any
+
 from collections import deque
 
 from repro.chip.comcobb import PROCESSOR_PORT
@@ -61,7 +63,9 @@ class TopologyBuilder:
         return port
 
 
-def _named_network(count: int, prefix: str, **kwargs):
+def _named_network(
+    count: int, prefix: str, **kwargs: Any
+) -> tuple[ChipNetwork, list[str], TopologyBuilder]:
     if count < 2:
         raise ConfigurationError("a topology needs at least two nodes")
     network = ChipNetwork(**kwargs)
@@ -72,7 +76,9 @@ def _named_network(count: int, prefix: str, **kwargs):
     return network, names, builder
 
 
-def build_chain(count: int, prefix: str = "node", **kwargs):
+def build_chain(
+    count: int, prefix: str = "node", **kwargs: Any
+) -> tuple[ChipNetwork, list[str]]:
     """A linear array: node0 — node1 — … — node(n-1)."""
     network, names, builder = _named_network(count, prefix, **kwargs)
     for left, right in zip(names[:-1], names[1:]):
@@ -80,7 +86,9 @@ def build_chain(count: int, prefix: str = "node", **kwargs):
     return network, names
 
 
-def build_ring(count: int, prefix: str = "node", **kwargs):
+def build_ring(
+    count: int, prefix: str = "node", **kwargs: Any
+) -> tuple[ChipNetwork, list[str]]:
     """A bidirectional ring of ``count`` nodes."""
     if count < 3:
         raise ConfigurationError("a ring needs at least three nodes")
@@ -90,7 +98,9 @@ def build_ring(count: int, prefix: str = "node", **kwargs):
     return network, names
 
 
-def build_star(leaves: int, prefix: str = "leaf", hub: str = "hub", **kwargs):
+def build_star(
+    leaves: int, prefix: str = "leaf", hub: str = "hub", **kwargs: Any
+) -> tuple[ChipNetwork, list[str]]:
     """One hub with up to four leaves."""
     if not 1 <= leaves <= 4:
         raise ConfigurationError("a ComCoBB hub supports one to four leaves")
@@ -104,7 +114,9 @@ def build_star(leaves: int, prefix: str = "leaf", hub: str = "hub", **kwargs):
     return network, [hub] + names
 
 
-def build_mesh(rows: int, columns: int, prefix: str = "node", **kwargs):
+def build_mesh(
+    rows: int, columns: int, prefix: str = "node", **kwargs: Any
+) -> tuple[ChipNetwork, list[str]]:
     """A 2D mesh; interior nodes use all four ports."""
     if rows < 1 or columns < 1 or rows * columns < 2:
         raise ConfigurationError("mesh needs at least two nodes")
@@ -126,7 +138,9 @@ def build_mesh(rows: int, columns: int, prefix: str = "node", **kwargs):
     return network, [name for row_names in names for name in row_names]
 
 
-def build_complete(count: int, prefix: str = "node", **kwargs):
+def build_complete(
+    count: int, prefix: str = "node", **kwargs: Any
+) -> tuple[ChipNetwork, list[str]]:
     """A complete graph (count <= 5, since each node has four ports)."""
     if not 2 <= count <= 5:
         raise ConfigurationError(

@@ -94,7 +94,10 @@ class DamqBuffer(SwitchBuffer):
         if self._packet_counts[destination] == 0:
             raise BufferEmptyError(f"DAMQ queue for output {destination} empty")
         packet = self._slot_packet[self._lists._head[destination]]
-        assert packet is not None
+        if packet is None:
+            raise InvariantError(
+                f"DAMQ head slot of queue {destination} holds no packet"
+            )
         for _ in range(packet.size):
             slot = self._lists.release_head(destination)
             self._slot_packet[slot] = None
@@ -138,7 +141,10 @@ class DamqBuffer(SwitchBuffer):
         for output in range(self.num_outputs):
             for slot in self._lists.slots(output):
                 packet = self._slot_packet[slot]
-                assert packet is not None
+                if packet is None:
+                    raise InvariantError(
+                        f"allocated slot {slot} holds no packet"
+                    )
                 if packet.packet_id not in seen:
                     seen.add(packet.packet_id)
                     result.append(packet)

@@ -57,6 +57,14 @@ class InvariantError(SimulationError):
     """
 
 
+class SanitizerError(SimulationError):
+    """Raised by :meth:`repro.analysis.sanitizer.HardwareSanitizer.assert_clean`
+    when a sanitized run recorded hardware-model violations (use-after-free,
+    double-free, pointer cycles/leaks, or port-bandwidth overruns).  The
+    sanitizer itself never raises mid-simulation — it records and keeps
+    going, so one corruption yields a complete report."""
+
+
 class FaultError(SimulationError):
     """Raised when the fault-injection machinery itself is misconfigured or
     graceful degradation cannot proceed (e.g. retiring the last usable

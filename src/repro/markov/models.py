@@ -28,9 +28,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ConfigurationError
-from repro.markov.arbitration import service_outcomes
+from repro.markov.arbitration import ServiceOutcome, service_outcomes
 from repro.markov.chain import MarkovChain
-from repro.markov.ports import PortModel, port_model
+from repro.markov.ports import PortModel, State, port_model
 
 __all__ = ["SwitchChainBuilder", "SwitchSteadyState"]
 
@@ -105,9 +105,13 @@ class SwitchChainBuilder:
         # The arbitration decision depends on the joint state only through
         # its queue-length signature, which has a tiny domain — memoizing
         # on it cuts the compile time of the largest FIFO chains ~50x.
-        outcome_cache: dict[tuple, list] = {}
+        outcome_cache: dict[
+            tuple[tuple[int, ...], ...], list[ServiceOutcome]
+        ] = {}
 
-        def outcomes_for(joint_state):
+        def outcomes_for(
+            joint_state: tuple[State, ...],
+        ) -> list[ServiceOutcome]:
             key = tuple(
                 self.model.queue_lengths(port_state) for port_state in joint_state
             )

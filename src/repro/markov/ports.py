@@ -21,11 +21,10 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from collections.abc import Hashable, Iterable
-
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "State",
     "PortModel",
     "FifoPortModel",
     "DamqPortModel",
@@ -33,6 +32,10 @@ __all__ = [
     "SafcPortModel",
     "port_model",
 ]
+
+#: Every architecture's buffer state is a tuple of small ints: the
+#: destination sequence (FIFO) or the per-destination counts (the rest).
+State = tuple[int, ...]
 
 
 class PortModel(ABC):
@@ -53,11 +56,11 @@ class PortModel(ABC):
         self.num_outputs = num_outputs
 
     @abstractmethod
-    def enumerate_states(self) -> list[Hashable]:
+    def enumerate_states(self) -> list[State]:
         """Every reachable buffer state, starting with the empty state."""
 
     @abstractmethod
-    def queue_lengths(self, state: Hashable) -> tuple[int, ...]:
+    def queue_lengths(self, state: State) -> tuple[int, ...]:
         """Arbitration metric per output: length of the servable queue.
 
         Zero means the port cannot offer a packet for that output this
@@ -65,22 +68,22 @@ class PortModel(ABC):
         """
 
     @abstractmethod
-    def serve(self, state: Hashable, output: int) -> Hashable:
+    def serve(self, state: State, output: int) -> State:
         """State after transmitting the head packet for ``output``."""
 
     @abstractmethod
-    def can_accept(self, state: Hashable, destination: int) -> bool:
+    def can_accept(self, state: State, destination: int) -> bool:
         """Whether an arriving packet routed to ``destination`` fits."""
 
     @abstractmethod
-    def accept(self, state: Hashable, destination: int) -> Hashable:
+    def accept(self, state: State, destination: int) -> State:
         """State after storing a packet routed to ``destination``."""
 
     @abstractmethod
-    def occupancy(self, state: Hashable) -> int:
+    def occupancy(self, state: State) -> int:
         """Packets held in ``state`` (for sanity checks and tests)."""
 
-    def empty_state(self) -> Hashable:
+    def empty_state(self) -> State:
         """The state of a freshly reset buffer."""
         return self.enumerate_states()[0]
 
@@ -90,15 +93,15 @@ class FifoPortModel(PortModel):
 
     kind = "FIFO"
 
-    def enumerate_states(self) -> list[Hashable]:
-        states: list[Hashable] = []
+    def enumerate_states(self) -> list[State]:
+        states: list[State] = []
         for length in range(self.capacity + 1):
             states.extend(
                 itertools.product(range(self.num_outputs), repeat=length)
             )
         return states
 
-    def queue_lengths(self, state) -> tuple[int, ...]:
+    def queue_lengths(self, state: State) -> tuple[int, ...]:
         lengths = [0] * self.num_outputs
         if state:
             # The whole buffer counts as one queue attributed to the head
@@ -106,20 +109,20 @@ class FifoPortModel(PortModel):
             lengths[state[0]] = len(state)
         return tuple(lengths)
 
-    def serve(self, state, output: int):
+    def serve(self, state: State, output: int) -> State:
         if not state or state[0] != output:
             raise ConfigurationError(f"state {state} cannot serve output {output}")
         return state[1:]
 
-    def can_accept(self, state, destination: int) -> bool:
+    def can_accept(self, state: State, destination: int) -> bool:
         return len(state) < self.capacity
 
-    def accept(self, state, destination: int):
+    def accept(self, state: State, destination: int) -> State:
         if not self.can_accept(state, destination):
             raise ConfigurationError(f"state {state} is full")
         return state + (destination,)
 
-    def occupancy(self, state) -> int:
+    def occupancy(self, state: State) -> int:
         return len(state)
 
 
@@ -128,8 +131,8 @@ class DamqPortModel(PortModel):
 
     kind = "DAMQ"
 
-    def enumerate_states(self) -> list[Hashable]:
-        states = []
+    def enumerate_states(self) -> list[State]:
+        states: list[State] = []
         for counts in itertools.product(
             range(self.capacity + 1), repeat=self.num_outputs
         ):
@@ -138,27 +141,27 @@ class DamqPortModel(PortModel):
         states.sort(key=lambda counts: (sum(counts), counts))
         return states
 
-    def queue_lengths(self, state) -> tuple[int, ...]:
+    def queue_lengths(self, state: State) -> tuple[int, ...]:
         return tuple(state)
 
-    def serve(self, state, output: int):
+    def serve(self, state: State, output: int) -> State:
         if state[output] == 0:
             raise ConfigurationError(f"state {state} cannot serve output {output}")
         served = list(state)
         served[output] -= 1
         return tuple(served)
 
-    def can_accept(self, state, destination: int) -> bool:
+    def can_accept(self, state: State, destination: int) -> bool:
         return sum(state) < self.capacity
 
-    def accept(self, state, destination: int):
+    def accept(self, state: State, destination: int) -> State:
         if not self.can_accept(state, destination):
             raise ConfigurationError(f"state {state} is full")
         accepted = list(state)
         accepted[destination] += 1
         return tuple(accepted)
 
-    def occupancy(self, state) -> int:
+    def occupancy(self, state: State) -> int:
         return sum(state)
 
 
@@ -175,27 +178,27 @@ class SamqPortModel(PortModel):
             )
         self.partition = capacity // num_outputs
 
-    def enumerate_states(self) -> list[Hashable]:
+    def enumerate_states(self) -> list[State]:
         states = list(
             itertools.product(range(self.partition + 1), repeat=self.num_outputs)
         )
         states.sort(key=lambda counts: (sum(counts), counts))
         return states
 
-    def queue_lengths(self, state) -> tuple[int, ...]:
+    def queue_lengths(self, state: State) -> tuple[int, ...]:
         return tuple(state)
 
-    def serve(self, state, output: int):
+    def serve(self, state: State, output: int) -> State:
         if state[output] == 0:
             raise ConfigurationError(f"state {state} cannot serve output {output}")
         served = list(state)
         served[output] -= 1
         return tuple(served)
 
-    def can_accept(self, state, destination: int) -> bool:
+    def can_accept(self, state: State, destination: int) -> bool:
         return state[destination] < self.partition
 
-    def accept(self, state, destination: int):
+    def accept(self, state: State, destination: int) -> State:
         if not self.can_accept(state, destination):
             raise ConfigurationError(
                 f"partition {destination} of state {state} is full"
@@ -204,7 +207,7 @@ class SamqPortModel(PortModel):
         accepted[destination] += 1
         return tuple(accepted)
 
-    def occupancy(self, state) -> int:
+    def occupancy(self, state: State) -> int:
         return sum(state)
 
 

@@ -24,8 +24,12 @@ switch-to-switch movement.  Flow control follows the configured protocol:
 
 from __future__ import annotations
 
+import os
+from collections.abc import Callable
 from dataclasses import dataclass, replace
+from typing import Any
 
+from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet, PacketFactory
 from repro.core.registry import make_buffer_factory
 from repro.errors import BufferFullError, ConfigurationError, SimulationError
@@ -38,7 +42,12 @@ from repro.switch.flow_control import Protocol
 from repro.switch.switch import Switch
 from repro.utils.rng import RandomStream
 
-__all__ = ["NetworkConfig", "OmegaNetworkSimulator", "simulate"]
+__all__ = [
+    "NetworkConfig",
+    "OmegaNetworkSimulator",
+    "make_simulator",
+    "simulate",
+]
 
 #: Clock cycles represented by one network cycle (8 transmit + 4 route).
 DEFAULT_CYCLE_CLOCKS = 12
@@ -101,7 +110,7 @@ class NetworkConfig:
     #: capacity.  0 leaves the buffers untouched.
     retired_slots_per_buffer: int = 0
 
-    def with_overrides(self, **kwargs) -> "NetworkConfig":
+    def with_overrides(self, **kwargs: Any) -> "NetworkConfig":
         """A copy of this config with some fields replaced."""
         return replace(self, **kwargs)
 
@@ -139,9 +148,7 @@ class OmegaNetworkSimulator:
         )
         self.factory = PacketFactory()
         root = RandomStream(config.seed, "omega")
-        buffer_factory = make_buffer_factory(
-            config.buffer_kind, config.slots_per_buffer
-        )
+        buffer_factory = self._make_buffer_factory(config)
         self.switches: list[list[Switch]] = []
         next_id = 0
         for _stage in range(self.topology.num_stages):
@@ -257,6 +264,18 @@ class OmegaNetworkSimulator:
             ]
             for stage in range(stages)
         ]
+
+    def _make_buffer_factory(
+        self, config: NetworkConfig
+    ) -> Callable[[int], SwitchBuffer]:
+        """Build the per-input buffer factory.
+
+        Override hook for instrumented simulators: the sanitized subclass
+        (:class:`repro.analysis.sanitizer.SanitizedOmegaNetworkSimulator`)
+        wraps the returned factory so every buffer is instrumented, while
+        this base class keeps the plain, zero-overhead construction.
+        """
+        return make_buffer_factory(config.buffer_kind, config.slots_per_buffer)
 
     def _make_blocked(self, stage: int, index: int) -> BlockedPredicate:
         """Build the per-switch flow-control predicate once, up front."""
@@ -528,10 +547,39 @@ class OmegaNetworkSimulator:
         )
 
 
+def make_simulator(
+    config: NetworkConfig, sanitize: bool | None = None
+) -> OmegaNetworkSimulator:
+    """Build a plain or sanitizer-instrumented simulator for ``config``.
+
+    ``sanitize=None`` (the default) consults the ``REPRO_SANITIZE``
+    environment variable, so an unmodified experiment pipeline — including
+    the parallel workers of :mod:`repro.perf`, which inherit the
+    environment — runs sanitized when the user exports ``REPRO_SANITIZE=1``.
+    The sanitizer observes without perturbing (no RNG draws, no behaviour
+    changes), so results are bit-identical either way; the plain path
+    constructs :class:`OmegaNetworkSimulator` directly and carries zero
+    instrumentation overhead.
+    """
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    if not sanitize:
+        return OmegaNetworkSimulator(config)
+    from repro.analysis.sanitizer import SanitizedOmegaNetworkSimulator
+
+    return SanitizedOmegaNetworkSimulator(config)
+
+
 def simulate(
     config: NetworkConfig,
     warmup_cycles: int = 2000,
     measure_cycles: int = 10000,
+    sanitize: bool | None = None,
 ) -> SimulationResult:
-    """Build a simulator for ``config`` and run it once."""
-    return OmegaNetworkSimulator(config).run(warmup_cycles, measure_cycles)
+    """Build a simulator for ``config`` and run it once.
+
+    ``sanitize`` as in :func:`make_simulator`; sanitized runs produce
+    bit-identical results and additionally surface hardware-model
+    violations through the simulator's sanitizer report.
+    """
+    return make_simulator(config, sanitize).run(warmup_cycles, measure_cycles)

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Sequence
+from typing import TypeVar
 
 import numpy as np
+
+_T = TypeVar("_T")
 
 __all__ = ["RandomStream", "BatchedBernoulli", "spawn_streams"]
 
@@ -57,9 +60,9 @@ class RandomStream:
         """Return ``True`` with the given probability."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability out of range: {probability}")
-        if probability == 0.0:
+        if probability == 0.0:  # repro: noqa=REP004 exact sentinel: skip the RNG draw, keeping the stream bit-identical
             return False
-        if probability == 1.0:
+        if probability == 1.0:  # repro: noqa=REP004 exact sentinel: skip the RNG draw, keeping the stream bit-identical
             return True
         return bool(self._gen.random() < probability)
 
@@ -67,7 +70,7 @@ class RandomStream:
         """Return a uniform integer in ``[low, high)``."""
         return int(self._gen.integers(low, high))
 
-    def choice(self, items: Sequence):
+    def choice(self, items: Sequence[_T]) -> _T:
         """Return a uniformly random element of ``items``."""
         if not items:
             raise ValueError("cannot choose from an empty sequence")
@@ -163,9 +166,9 @@ class BatchedBernoulli:
     def draw(self) -> bool:
         """One Bernoulli draw, bit-identical to ``stream.bernoulli(p)``."""
         probability = self.probability
-        if probability == 0.0:
+        if probability == 0.0:  # repro: noqa=REP004 exact sentinel: must match RandomStream.bernoulli's short-circuit
             return False
-        if probability == 1.0:
+        if probability == 1.0:  # repro: noqa=REP004 exact sentinel: must match RandomStream.bernoulli's short-circuit
             return True
         if probability > self._SCALAR_THRESHOLD:
             return bool(self._gen.random() < probability)

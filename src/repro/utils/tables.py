@@ -12,7 +12,9 @@ from collections.abc import Iterable, Sequence
 __all__ = ["TextTable", "format_value"]
 
 
-def format_value(value, decimals: int = 3, zero_plus: bool = False) -> str:
+def format_value(
+    value: object, decimals: int = 3, zero_plus: bool = False
+) -> str:
     """Format a cell the way the paper does.
 
     Floats are fixed-point with ``decimals`` digits; when ``zero_plus`` is
@@ -23,9 +25,9 @@ def format_value(value, decimals: int = 3, zero_plus: bool = False) -> str:
         return ""
     if isinstance(value, float):
         if zero_plus:
-            if value == 0.0:
+            if value == 0.0:  # repro: noqa=REP004 Table 2 distinguishes exact zero from rounds-to-zero
                 return "0"
-            if round(value, decimals) == 0.0:
+            if round(value, decimals) == 0.0:  # repro: noqa=REP004 rounded value is exactly representable
                 return "0+"
         return f"{value:.{decimals}f}"
     return str(value)

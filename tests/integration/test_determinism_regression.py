@@ -15,7 +15,11 @@ EXPERIMENTS.md regenerated to match).
 
 import pytest
 
-from repro.network.simulator import NetworkConfig, OmegaNetworkSimulator
+from repro.network.simulator import (
+    NetworkConfig,
+    OmegaNetworkSimulator,
+    make_simulator,
+)
 from repro.switch.flow_control import Protocol
 
 #: Simulation window shared by both pins (cycles).
@@ -101,3 +105,21 @@ def test_seed_1988_checksums_unchanged(name):
     actual = checksum(simulator.meters)
     # Exact comparison on purpose — floats included (see module docstring).
     assert actual == pin["expected"]
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_sanitized_run_matches_pins_exactly(name, monkeypatch):
+    """REPRO_SANITIZE=1 must not perturb a single bit of the results.
+
+    The sanitizer instruments the buffers via ``__class__`` adoption —
+    bookkeeping only, no change to the datapath — so the exact Welford
+    state of every meter must match the plain-run pins, and a healthy
+    model must produce zero violations.
+    """
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    assert simulator.sanitizer is not None
+    simulator.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(simulator.meters) == pin["expected"]
+    assert simulator.sanitizer.clean, simulator.sanitizer.render()

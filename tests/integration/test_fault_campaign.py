@@ -64,7 +64,7 @@ class TestZeroFaultCampaign:
             messages_per_flow=2,
             peer_offsets=(1,),
         )
-        assert result.delivery_rate == 1.0
+        assert result.delivery_rate == 1.0  # repro: noqa=REP004 delivered/sent is an exact integer ratio
         assert result.failed_messages == 0
         assert result.flips_injected == 0
         assert result.retransmissions == 0
@@ -82,7 +82,7 @@ class TestZeroFaultCampaign:
             messages_per_flow=2,
             peer_offsets=(1,),
         )
-        assert result.delivery_rate == 1.0
+        assert result.delivery_rate == 1.0  # repro: noqa=REP004 delivered/sent is an exact integer ratio
         assert result.failed_messages == 0
 
 
@@ -158,7 +158,7 @@ class TestBufferSweep:
 
     def test_loss_meter_tracks_injected_rate(self, cells):
         for cell in cells:
-            if cell.packet_loss_rate == 0.0:
-                assert cell.loss_fraction == 0.0
+            if cell.packet_loss_rate == 0.0:  # repro: noqa=REP004 exact sentinel: the sweep passes literal 0.0
+                assert cell.loss_fraction == 0.0  # repro: noqa=REP004 zero injected flips yield an exactly zero ratio
             else:
                 assert cell.loss_fraction > 0.0

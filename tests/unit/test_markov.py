@@ -185,7 +185,7 @@ class TestSwitchChainBuilder:
 
     def test_zero_traffic_never_discards(self):
         builder = SwitchChainBuilder("FIFO", slots_per_port=2)
-        assert builder.analyze(0.0).discard_probability == 0.0
+        assert builder.analyze(0.0).discard_probability == 0.0  # repro: noqa=REP004 zero arrivals give an exactly zero discard rate
 
     def test_flow_conservation(self):
         """Accepted arrivals equal departures in steady state."""

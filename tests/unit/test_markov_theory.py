@@ -13,7 +13,7 @@ from repro.markov.theory import (
 
 class TestConstants:
     def test_table_values(self):
-        assert hol_saturation_throughput(2) == 0.75
+        assert hol_saturation_throughput(2) == 0.75  # repro: noqa=REP004 closed-form value is exactly representable
         assert hol_saturation_throughput(4) == pytest.approx(0.6553)
 
     def test_asymptote_for_large_switches(self):

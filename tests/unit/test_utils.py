@@ -135,8 +135,8 @@ class TestOnlineStats:
         variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
         assert stats.mean == pytest.approx(mean)
         assert stats.variance == pytest.approx(variance)
-        assert stats.minimum == -2.0
-        assert stats.maximum == 10.0
+        assert stats.minimum == -2.0  # repro: noqa=REP004 min/max are copied inputs, not computed
+        assert stats.maximum == 10.0  # repro: noqa=REP004 min/max are copied inputs, not computed
 
     def test_merge_equals_single_pass(self):
         left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
@@ -155,7 +155,7 @@ class TestOnlineStats:
         assert stats.count == 1
         empty = OnlineStats()
         empty.merge(stats)
-        assert empty.mean == 4.0
+        assert empty.mean == 4.0  # repro: noqa=REP004 merging into empty copies the state verbatim
 
     def test_mean_half_width_shrinks_with_samples(self):
         import random
