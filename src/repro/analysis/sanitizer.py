@@ -49,6 +49,7 @@ import os
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.core.buffer import SwitchBuffer
@@ -391,6 +392,21 @@ class SanitizedSlotListManager(SlotListManager):
         self._slot_state[retired] = _RETIRED
         return retired
 
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Restore the register file, then re-derive the slot states.
+
+        Checkpoint snapshots are sanitizer-agnostic (they carry only the
+        hardware registers), so after the inherited restore the lifecycle
+        state machine is rebuilt exactly as :meth:`adopt` builds it.
+        """
+        super().restore_state(state)
+        derived = [_IN_USE] * self.num_slots
+        for slot in self.free_slots():
+            derived[slot] = _FREE
+        for slot in self.retired_slots():
+            derived[slot] = _RETIRED
+        self._slot_state = derived
+
     # -- structural scan ---------------------------------------------------
 
     def scan(self) -> None:
@@ -615,8 +631,17 @@ class SanitizedOmegaNetworkSimulator(OmegaNetworkSimulator):
         super().step()
 
     def run(
-        self, warmup_cycles: int = 2000, measure_cycles: int = 10000
+        self,
+        warmup_cycles: int = 2000,
+        measure_cycles: int = 10000,
+        checkpoint_every: int | None = None,
+        checkpoint_path: "str | Path | None" = None,
     ) -> "SimulationResult":
-        result = super().run(warmup_cycles, measure_cycles)
+        result = super().run(
+            warmup_cycles,
+            measure_cycles,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
         self.sanitizer.scan()
         return result

@@ -1,0 +1,57 @@
+"""Maintenance CLI for the experiment result cache.
+
+Usage::
+
+    python -m repro.cache stats            # entry counts, bytes, breakdown
+    python -m repro.cache clear            # drop every entry and blob
+    python -m repro.cache verify           # check blobs against digests
+    python -m repro.cache --cache-dir X ...
+
+``verify`` exits non-zero when it finds (and drops) corrupt entries, so
+CI can assert cache soundness.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cache.store import DEFAULT_CACHE_DIR, ResultCache
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Inspect and maintain the experiment result cache.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "command",
+        choices=("stats", "clear", "verify"),
+        help="maintenance operation to run",
+    )
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.command == "stats":
+        print(cache.stats().describe())
+        return 0
+    if args.command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+        return 0
+    problems = cache.verify()
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"dropped {len(problems)} corrupt entr(y/ies) from {cache.root}")
+        return 1
+    print(f"cache at {cache.root} is sound ({cache.stats().entries} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

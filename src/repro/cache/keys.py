@@ -1,0 +1,75 @@
+"""Cache-key derivation: canonical JSON and the source-tree fingerprint.
+
+A cache key must change whenever anything that could change the result
+changes.  For a simulation that is (a) the work payload — experiment
+name, full config dict, seed and cycle counts — and (b) the simulator
+itself.  The payload is hashed as canonical JSON (sorted keys, no
+whitespace, so dict ordering never matters); the simulator is hashed as
+a fingerprint over every ``*.py`` file of the installed ``repro``
+package, so *any* source edit — a new RNG draw, a reordered loop, a
+changed default — invalidates the whole cache rather than serving
+results the current code would not reproduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["cache_key", "canonical_json", "source_fingerprint"]
+
+#: Memoized fingerprint — the source tree cannot change under a running
+#: process, so it is computed at most once per process.
+_FINGERPRINT: str | None = None
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical JSON string.
+
+    Sorted keys and fixed separators make the encoding independent of
+    dict insertion order; Python's ``repr``-based float formatting makes
+    it exact (two floats encode identically iff they are the same
+    value).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def source_fingerprint() -> str:
+    """SHA-256 over the full source of the installed ``repro`` package.
+
+    Hashes the sorted ``relative-path:content-digest`` pairs of every
+    ``*.py`` file under the package root, so renames, additions,
+    deletions and edits all change the fingerprint.  Memoized for the
+    process lifetime.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            relative = source.relative_to(package_root).as_posix()
+            content = hashlib.sha256(source.read_bytes()).hexdigest()
+            digest.update(f"{relative}:{content}\n".encode())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def cache_key(experiment: str, codec: str, payload: Any) -> str:
+    """Content address of one unit of work.
+
+    ``experiment`` names the suite member the work belongs to, ``codec``
+    the blob encoding (a decode-format change must miss, not
+    mis-decode), and ``payload`` is the JSON-able work description —
+    for a simulation, the full config dict plus warmup/measure cycle
+    counts.  The source fingerprint is folded in so no key survives a
+    code change.
+    """
+    document = {
+        "experiment": experiment,
+        "codec": codec,
+        "payload": payload,
+        "source": source_fingerprint(),
+    }
+    return hashlib.sha256(canonical_json(document).encode()).hexdigest()

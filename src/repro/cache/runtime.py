@@ -1,0 +1,85 @@
+"""Process-wide cache activation shared by the runner and the mappers.
+
+The experiment runner decides *whether* caching (and checkpointing) is
+on; the parallel mapper decides *what* each unit of work looks like.
+They meet here: :func:`~repro.experiments.runner.run_experiment` wraps
+each experiment in :func:`activate`, and
+:func:`~repro.perf.parallel.parallel_map` consults :func:`active` to
+short-circuit hits and store misses.  Keeping the context in a module
+global (rather than threading a parameter through every experiment
+module) means the individual experiments stay cache-oblivious — the
+figure/table code is identical with and without a cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.cache.store import ResultCache
+
+__all__ = ["CacheContext", "activate", "active"]
+
+
+class CacheContext:
+    """What the mapper needs to know while an experiment runs.
+
+    Parameters
+    ----------
+    cache:
+        The store, or ``None`` when only checkpointing is active.
+    experiment:
+        Suite-member name folded into every cache key.
+    checkpoint_every:
+        Periodic checkpoint cadence for each simulation, in cycles
+        (``None`` disables checkpointing).
+    checkpoint_dir:
+        Directory for per-task checkpoint files.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None,
+        experiment: str,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> None:
+        self.cache = cache
+        self.experiment = experiment
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+
+    @property
+    def checkpointing(self) -> bool:
+        """Whether per-task checkpoint/resume is configured."""
+        return self.checkpoint_every is not None and self.checkpoint_dir is not None
+
+
+_ACTIVE: CacheContext | None = None
+
+
+def active() -> CacheContext | None:
+    """The currently installed context (``None`` outside activation)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(context: CacheContext) -> Iterator[CacheContext]:
+    """Install ``context`` for the duration of one experiment.
+
+    The store's index is flushed on the way out — one write per
+    experiment, not per lookup.  Activations do not nest; the previous
+    context is restored on exit so a nested runner is still safe.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = context
+    try:
+        yield context
+    finally:
+        _ACTIVE = previous
+        if context.cache is not None:
+            context.cache.flush()

@@ -1,0 +1,240 @@
+"""The on-disk content-addressed store: index, blobs, eviction, checks.
+
+One :class:`ResultCache` owns a directory::
+
+    <root>/index.json               # {"schema": 1, "seq": N, "entries": {...}}
+    <root>/objects/ab/abcdef....json
+
+The index is the source of truth for *which* keys exist; blobs carry the
+payloads.  Entries record their codec, experiment, size, a SHA-256 of
+the blob text (so ``verify`` can detect corruption) and a logical
+last-use sequence number driving LRU eviction — a monotonic counter, not
+a wall-clock time, so cache behaviour is deterministic.
+
+Writes are atomic (temp file + ``os.replace``) and the index is
+persisted explicitly via :meth:`ResultCache.flush` — the experiment
+runner flushes once per activation rather than once per lookup, keeping
+warm re-runs at one index read and zero writes per hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.cache.codecs import decode_result, encode_result
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: On-disk index schema version; any other version is treated as empty.
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary of a cache directory for ``python -m repro.cache stats``."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    experiments: dict[str, int]
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"cache root      {self.root}",
+            f"entries         {self.entries}",
+            f"stored bytes    {self.total_bytes}",
+            f"session hits    {self.hits}",
+            f"session misses  {self.misses}",
+        ]
+        for name in sorted(self.experiments):
+            lines.append(f"  {name:24s} {self.experiments[name]}")
+        return "\n".join(lines)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    scratch.write_text(text)
+    os.replace(scratch, path)
+
+
+class ResultCache:
+    """Content-addressed result store with LRU eviction.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on the first ``put``).
+    max_entries:
+        Eviction threshold: inserting beyond this evicts the entries
+        with the oldest logical last-use sequence.  Generous by default —
+        the full experiment suite is a few hundred simulations.
+    """
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        max_entries: int = 4096,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("cache max_entries must be >= 1")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._seq = 0
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._load_index()
+
+    # -- index persistence -------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> None:
+        try:
+            document = json.loads(self._index_path.read_text())
+        except (OSError, ValueError):
+            return
+        if document.get("schema") != _SCHEMA:
+            return
+        self._seq = int(document.get("seq", 0))
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def flush(self) -> None:
+        """Persist the index if any lookup or store changed it."""
+        if not self._dirty:
+            return
+        document = {
+            "schema": _SCHEMA,
+            "seq": self._seq,
+            "entries": self._entries,
+        }
+        _atomic_write(self._index_path, json.dumps(document))
+        self._dirty = False
+
+    # -- blob addressing ---------------------------------------------------
+
+    def _blob_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # -- lookups and stores ------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """The decoded result for ``key``, or ``None`` on a miss.
+
+        A hit bumps the entry's logical last-use sequence (persisted at
+        the next :meth:`flush`); a missing or unreadable blob demotes
+        the entry to a miss and drops it from the index.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            blob = json.loads(self._blob_path(key).read_text())
+        except (OSError, ValueError):
+            del self._entries[key]
+            self._dirty = True
+            self.misses += 1
+            return None
+        self._seq += 1
+        entry["seq"] = self._seq
+        self._dirty = True
+        self.hits += 1
+        return decode_result(str(entry["codec"]), blob)
+
+    def put(self, key: str, experiment: str, codec: str, result: Any) -> None:
+        """Encode and store ``result`` under ``key``, evicting if full."""
+        text = json.dumps(encode_result(codec, result))
+        _atomic_write(self._blob_path(key), text)
+        self._seq += 1
+        self._entries[key] = {
+            "codec": codec,
+            "experiment": experiment,
+            "seq": self._seq,
+            "size": len(text),
+            "sha256": hashlib.sha256(text.encode()).hexdigest(),
+        }
+        self._dirty = True
+        self._evict()
+
+    def _evict(self) -> None:
+        if len(self._entries) <= self.max_entries:
+            return
+        overflow = len(self._entries) - self.max_entries
+        oldest = sorted(self._entries, key=lambda k: int(self._entries[k]["seq"]))
+        for key in oldest[:overflow]:
+            del self._entries[key]
+            self._blob_path(key).unlink(missing_ok=True)
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Entry counts, stored bytes and per-experiment breakdown."""
+        experiments: dict[str, int] = {}
+        total = 0
+        for entry in self._entries.values():
+            name = str(entry["experiment"])
+            experiments[name] = experiments.get(name, 0) + 1
+            total += int(entry["size"])
+        return CacheStats(
+            root=str(self.root),
+            entries=len(self._entries),
+            total_bytes=total,
+            hits=self.hits,
+            misses=self.misses,
+            experiments=experiments,
+        )
+
+    def clear(self) -> int:
+        """Drop every entry and blob; returns the number removed."""
+        removed = len(self._entries)
+        for key in list(self._entries):
+            self._blob_path(key).unlink(missing_ok=True)
+        self._entries.clear()
+        self._dirty = True
+        self.flush()
+        return removed
+
+    def verify(self) -> list[str]:
+        """Check every blob against its recorded digest.
+
+        Returns a list of human-readable problem descriptions (empty
+        means the cache is sound).  Corrupt or missing blobs are
+        dropped from the index so subsequent lookups miss cleanly.
+        """
+        problems: list[str] = []
+        for key in list(self._entries):
+            entry = self._entries[key]
+            path = self._blob_path(key)
+            try:
+                text = path.read_text()
+            except OSError:
+                problems.append(f"{key}: blob missing ({path})")
+                del self._entries[key]
+                self._dirty = True
+                continue
+            digest = hashlib.sha256(text.encode()).hexdigest()
+            if digest != entry["sha256"]:
+                problems.append(f"{key}: blob digest mismatch ({path})")
+                del self._entries[key]
+                self._dirty = True
+        self.flush()
+        return problems

@@ -63,6 +63,17 @@ class FaultCounters:
         """Counter name → value, for reports."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, int]:
+        """JSON-able counter snapshot (same shape as :meth:`as_dict`)."""
+        return self.as_dict()
+
+    def restore_state(self, state: dict[str, int]) -> None:
+        """Overwrite every counter from a :meth:`snapshot_state` dict."""
+        for f in fields(self):
+            setattr(self, f.name, state[f.name])
+
 
 @dataclass
 class ChipFaultPolicy:
@@ -85,3 +96,22 @@ class ChipFaultPolicy:
     checksum: bool = True
     degrade: bool = True
     counters: FaultCounters = field(default_factory=FaultCounters)
+
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, object]:
+        """Policy knobs plus the aggregated counters, JSON-able."""
+        return {
+            "checksum": self.checksum,
+            "degrade": self.degrade,
+            "counters": self.counters.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Overwrite the policy with a :meth:`snapshot_state` dict."""
+        self.checksum = bool(state["checksum"])
+        self.degrade = bool(state["degrade"])
+        counters = state["counters"]
+        if not isinstance(counters, dict):
+            raise TypeError("fault-policy snapshot is missing its counters")
+        self.counters.restore_state(counters)

@@ -29,6 +29,7 @@ Conventions
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 from repro.core.packet import Packet
 from repro.errors import ConfigurationError
@@ -196,6 +197,32 @@ class SwitchBuffer(ABC):
         """Structural self-check; raises
         :class:`repro.errors.InvariantError` on corruption.  Subclasses
         override with architecture-specific checks."""
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The buffer's complete state as a JSON-able dict.
+
+        Every concrete buffer implements this (and the matching
+        :meth:`restore_state`) so the simulator's checkpoint machinery
+        can capture buffers without knowing their architecture.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the buffer with a :meth:`snapshot_state` dict.
+
+        Implementations mutate internal register lists *in place* (never
+        rebind them): the owning switch and the simulator's flow-control
+        closures hold live references to those lists.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
 
     @property
     def is_empty(self) -> bool:

@@ -15,6 +15,8 @@ the byte-granularity hardware model lives in :mod:`repro.chip`.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.buffer import SwitchBuffer
 from repro.core.linkedlist import SlotListManager
 from repro.core.packet import Packet
@@ -149,6 +151,46 @@ class DamqBuffer(SwitchBuffer):
                     seen.add(packet.packet_id)
                     result.append(packet)
         return result
+
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "lists": self._lists.snapshot_state(),
+            # The data RAM, slot by slot.  A multi-slot packet appears
+            # once per occupied slot; restore re-shares by packet id.
+            "slots": [
+                packet.to_state() if packet is not None else None
+                for packet in self._slot_packet
+            ],
+            "retired_slots": self._retired_slots,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._lists.restore_state(state["lists"])
+        # Rebuild the data RAM, re-sharing one Packet object across the
+        # slots of a multi-slot packet (pop identity-checks against the
+        # arbiter's grant, so aliasing must be preserved).
+        by_id: dict[int, Packet] = {}
+        for slot, packet_state in enumerate(state["slots"]):
+            if packet_state is None:
+                self._slot_packet[slot] = None
+                continue
+            packet = by_id.get(packet_state["packet_id"])
+            if packet is None:
+                packet = Packet.from_state(packet_state)
+                by_id[packet.packet_id] = packet
+            self._slot_packet[slot] = packet
+        # Derived register: unique packets per destination list (mutated
+        # in place — the switch holds a live reference).
+        for output in range(self.num_outputs):
+            seen: set[int] = set()
+            for slot in self._lists.slots(output):
+                packet = self._slot_packet[slot]
+                if packet is not None:
+                    seen.add(packet.packet_id)
+            self._packet_counts[output] = len(seen)
+        self._retired_slots = state["retired_slots"]
 
     def check_invariants(self) -> None:
         """Structural self-check delegated to the register-file model.

@@ -9,6 +9,7 @@ busy — the deficiency the DAMQ buffer removes.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
@@ -120,6 +121,33 @@ class FifoBuffer(SwitchBuffer):
 
     def packets(self) -> list[Packet]:
         return [packet for packet, _ in self._queue]
+
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "queue": [
+                [packet.to_state(), destination]
+                for packet, destination in self._queue
+            ],
+            "retired_slots": self._retired_slots,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._queue.clear()
+        self._used = 0
+        for packet_state, destination in state["queue"]:
+            packet = Packet.from_state(packet_state)
+            self._queue.append((packet, destination))
+            self._used += packet.size
+        # Derived exactly as push/pop maintain it: the whole occupancy
+        # attributed to the head packet's destination (mutated in place —
+        # the switch holds a live reference to this list).
+        for output in range(self.num_outputs):
+            self._lengths[output] = 0
+        if self._queue:
+            self._lengths[self._queue[0][1]] = self._used
+        self._retired_slots = state["retired_slots"]
 
     def check_invariants(self) -> None:
         total = sum(packet.size for packet, _ in self._queue)

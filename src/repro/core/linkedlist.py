@@ -17,6 +17,8 @@ that behaviour: :meth:`head` of an empty list returns the free-list head.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import (
     BufferEmptyError,
     BufferFullError,
@@ -293,6 +295,50 @@ class SlotListManager:
             self._next[self._free_tail] = slot
         self._free_tail = slot
         self._free_count += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The whole register file as a JSON-able dict.
+
+        Captures every pointer/head/tail/length register plus the free
+        list and the retired set (serialized as a sorted list — the set
+        itself is never iterated during simulation, so ordering carries
+        no behaviour).
+        """
+        return {
+            "next": list(self._next),
+            "head": list(self._head),
+            "tail": list(self._tail),
+            "length": list(self._length),
+            "free_head": self._free_head,
+            "free_tail": self._free_tail,
+            "free_count": self._free_count,
+            "retired": sorted(self._retired),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the register file with a :meth:`snapshot_state` dict.
+
+        The register lists are mutated *in place* so any live references
+        (instrumentation, debug views) keep observing the same objects.
+        """
+        if len(state["next"]) != self.num_slots:
+            raise ConfigurationError(
+                f"snapshot describes {len(state['next'])} slots, "
+                f"this pool has {self.num_slots}"
+            )
+        self._next[:] = state["next"]
+        self._head[:] = state["head"]
+        self._tail[:] = state["tail"]
+        self._length[:] = state["length"]
+        self._free_head = state["free_head"]
+        self._free_tail = state["free_tail"]
+        self._free_count = state["free_count"]
+        self._retired.clear()
+        self._retired.update(state["retired"])
 
     # ------------------------------------------------------------------
     # Validation

@@ -10,8 +10,8 @@ to send.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -90,6 +90,35 @@ class Packet:
             raise ConfigurationError(f"packet {self.packet_id} not delivered yet")
         return self.delivered_at - self.injected_at
 
+    def to_state(self) -> dict[str, Any]:
+        """Every field as a JSON-able dict (checkpoint serialization)."""
+        return {
+            "packet_id": self.packet_id,
+            "source": self.source,
+            "destination": self.destination,
+            "created_at": self.created_at,
+            "route": list(self.route),
+            "size": self.size,
+            "hop": self.hop,
+            "injected_at": self.injected_at,
+            "delivered_at": self.delivered_at,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "Packet":
+        """Rebuild a packet from a :meth:`to_state` dict."""
+        return cls(
+            packet_id=state["packet_id"],
+            source=state["source"],
+            destination=state["destination"],
+            created_at=state["created_at"],
+            route=tuple(state["route"]),
+            size=state["size"],
+            hop=state["hop"],
+            injected_at=state["injected_at"],
+            delivered_at=state["delivered_at"],
+        )
+
 
 @dataclass(slots=True)
 class Message:
@@ -129,9 +158,11 @@ class PacketFactory:
 
     A single factory per simulation keeps packet ids unique across all
     traffic generators, which the delivery-accounting assertions rely on.
+    The id counter is a plain integer (not ``itertools.count``) so a
+    checkpoint can capture and restore it without consuming a value.
     """
 
-    _counter: itertools.count = field(default_factory=itertools.count)
+    _counter: int = 0
 
     def create(
         self,
@@ -142,11 +173,21 @@ class PacketFactory:
         size: int = 1,
     ) -> Packet:
         """Create a new packet with the next unique id."""
+        packet_id = self._counter
+        self._counter += 1
         return Packet(
-            packet_id=next(self._counter),
+            packet_id=packet_id,
             source=source,
             destination=destination,
             created_at=created_at,
             route=route,
             size=size,
         )
+
+    def snapshot_state(self) -> int:
+        """The next packet id to be issued."""
+        return self._counter
+
+    def restore_state(self, state: int) -> None:
+        """Restore the id counter from :meth:`snapshot_state`."""
+        self._counter = state

@@ -11,6 +11,7 @@ is full, even while other partitions sit empty.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
@@ -145,6 +146,34 @@ class SamqBuffer(SwitchBuffer):
 
     def packets(self) -> list[Packet]:
         return [packet for queue in self._queues for packet in queue]
+
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "queues": [
+                [packet.to_state() for packet in queue]
+                for queue in self._queues
+            ],
+            "partition_retired": list(self._partition_retired),
+            "retired_slots": self._retired_slots,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        for destination, packet_states in enumerate(state["queues"]):
+            queue = self._queues[destination]
+            queue.clear()
+            used = 0
+            for packet_state in packet_states:
+                packet = Packet.from_state(packet_state)
+                queue.append(packet)
+                used += packet.size
+            # In-place updates: the switch's live-length view references
+            # the _counts list.
+            self._used[destination] = used
+            self._counts[destination] = len(queue)
+        self._partition_retired[:] = state["partition_retired"]
+        self._retired_slots = state["retired_slots"]
 
     def check_invariants(self) -> None:
         for destination, queue in enumerate(self._queues):

@@ -16,7 +16,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro.cache.store import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 
@@ -55,12 +57,47 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write each experiment's tables as CSV files into DIR",
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="memoize per-config simulations in a content-addressed store "
+        "(--no-cache disables); a warm re-run performs zero simulations "
+        "and prints byte-identical reports",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a resumable checkpoint every N simulated cycles so an "
+        "interrupted simulation continues bit-identically "
+        "(checkpoints live under CACHE_DIR/checkpoints)",
+    )
     args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    checkpoint_dir = (
+        Path(args.cache_dir) / "checkpoints"
+        if args.checkpoint_every is not None
+        else None
+    )
     requested = args.experiments or list(EXPERIMENTS)
     for experiment_id in requested:
         started = time.perf_counter()
         result = run_experiment(
-            experiment_id, quick=args.quick, seed=args.seed, jobs=args.jobs
+            experiment_id,
+            quick=args.quick,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=cache,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
         )
         elapsed = time.perf_counter() - started
         print(result.render())

@@ -111,10 +111,13 @@ def run(
         ["Slot bytes", "measured stranded fraction"],
     )
     result.data["measured"] = {}
+    tasks = [(slot_bytes, seed) for slot_bytes in sizes_to_measure]
     fractions = parallel_map(
         _fragmentation_task,
-        [(slot_bytes, seed) for slot_bytes in sizes_to_measure],
+        tasks,
         jobs=jobs,
+        codec="json",
+        payloads=tasks,
     )
     for slot_bytes, fraction in zip(sizes_to_measure, fractions):
         result.data["measured"][slot_bytes] = fraction

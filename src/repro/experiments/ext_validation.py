@@ -55,10 +55,13 @@ def run(
         for kind, slots in _CONFIGS
         for rate in _RATES
     ]
+    tasks = [(kind, slots, rate, cycles, seed) for kind, slots, rate in grid]
     reports = parallel_map(
         _validate_task,
-        [(kind, slots, rate, cycles, seed) for kind, slots, rate in grid],
+        tasks,
         jobs=jobs,
+        codec="validation-report",
+        payloads=tasks,
     )
     for (kind, slots, rate), report in zip(grid, reports):
         worst = max(worst, report.discard_error)

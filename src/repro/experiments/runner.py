@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from collections.abc import Callable
+from pathlib import Path
 
+from repro.cache.runtime import CacheContext, activate
+from repro.cache.store import ResultCache
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ext_faults,
@@ -52,28 +55,61 @@ def run_experiment(
     quick: bool = False,
     seed: int = 1988,
     jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id ("table2", "figure3", ...).
 
     ``jobs`` fans each experiment's independent simulation grid over that
     many worker processes (``None``/``0`` = one per CPU).  Per-config
     seeding makes the results byte-identical to a ``jobs=1`` run.
+
+    ``cache`` memoizes the experiment's per-config simulations in a
+    content-addressed store: a warm re-run serves every result from the
+    cache, byte-identical, without dispatching a single simulation.
+    ``checkpoint_every``/``checkpoint_dir`` make each simulation write
+    periodic checkpoints so a dead worker's replacement resumes
+    mid-run instead of restarting.  Neither option changes the results
+    in any bit.
     """
+    experiment_id = experiment_id.lower()
     try:
-        runner = EXPERIMENTS[experiment_id.lower()]
+        runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(quick=quick, seed=seed, jobs=jobs)
+    context = CacheContext(
+        cache,
+        experiment_id,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+    )
+    with activate(context):
+        return runner(quick=quick, seed=seed, jobs=jobs)
 
 
 def run_all(
-    quick: bool = False, seed: int = 1988, jobs: int | None = 1
+    quick: bool = False,
+    seed: int = 1988,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[ExperimentResult]:
-    """Run every experiment in paper order."""
+    """Run every experiment in paper order (options as
+    :func:`run_experiment`; all experiments share one ``cache``)."""
     return [
-        run_experiment(experiment_id, quick=quick, seed=seed, jobs=jobs)
+        run_experiment(
+            experiment_id,
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
         for experiment_id in EXPERIMENTS
     ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.utils.stats import OnlineStats
 
@@ -58,6 +59,36 @@ class Meters:
         if self.generated == 0:
             return math.nan
         return self.lost / self.generated
+
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Every counter plus the exact Welford state of each accumulator."""
+        return {
+            "num_ports": self.num_ports,
+            "cycles": self.cycles,
+            "generated": self.generated,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "discarded": self.discarded,
+            "lost": self.lost,
+            "latency": self.latency.get_state(),
+            "network_latency": self.network_latency.get_state(),
+            "occupancy": self.occupancy.get_state(),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the meters with a :meth:`snapshot_state` dict."""
+        self.num_ports = state["num_ports"]
+        self.cycles = state["cycles"]
+        self.generated = state["generated"]
+        self.injected = state["injected"]
+        self.delivered = state["delivered"]
+        self.discarded = state["discarded"]
+        self.lost = state["lost"]
+        self.latency.set_state(state["latency"])
+        self.network_latency.set_state(state["network_latency"])
+        self.occupancy.set_state(state["occupancy"])
 
 
 @dataclass

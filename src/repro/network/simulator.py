@@ -24,9 +24,11 @@ switch-to-switch movement.  Flow control follows the configured protocol:
 
 from __future__ import annotations
 
+import json
 import os
 from collections.abc import Callable
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
 from typing import Any
 
 from repro.core.buffer import SwitchBuffer
@@ -45,12 +47,31 @@ from repro.utils.rng import RandomStream
 __all__ = [
     "NetworkConfig",
     "OmegaNetworkSimulator",
+    "SNAPSHOT_VERSION",
+    "load_checkpoint",
     "make_simulator",
+    "restore_simulator",
+    "resume_run",
     "simulate",
 ]
 
 #: Clock cycles represented by one network cycle (8 transmit + 4 route).
 DEFAULT_CYCLE_CLOCKS = 12
+
+#: Version tag of the simulator snapshot format.  Bump whenever the
+#: structure of :meth:`OmegaNetworkSimulator.snapshot` changes; restore
+#: refuses snapshots from any other version.
+SNAPSHOT_VERSION = 1
+
+#: Test hook: when set to an integer N, a run that writes a checkpoint at
+#: exactly cycle N hard-exits the process immediately afterwards (the
+#: checkpoint/resume tests use this to simulate a worker dying mid-run).
+#: A *resumed* run starts at cycle >= N and never writes a checkpoint at
+#: N again, so the replacement attempt survives.
+CHECKPOINT_EXIT_ENV = "REPRO_TEST_EXIT_AT_CHECKPOINT"
+
+#: Process exit code used by the :data:`CHECKPOINT_EXIT_ENV` test hook.
+CHECKPOINT_EXIT_CODE = 23
 
 
 @dataclass(frozen=True)
@@ -113,6 +134,25 @@ class NetworkConfig:
     def with_overrides(self, **kwargs: Any) -> "NetworkConfig":
         """A copy of this config with some fields replaced."""
         return replace(self, **kwargs)
+
+    def to_state(self) -> dict[str, Any]:
+        """Every field as a JSON-able dict (cache keys, checkpoints).
+
+        The :class:`Protocol` enum is stored by name; all other fields
+        are primitives already.  The dict is also the canonical payload
+        hashed into this config's cache key, so field order does not
+        matter (keys are sorted at hash time) but values must be stable.
+        """
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state["protocol"] = str(self.protocol)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "NetworkConfig":
+        """Rebuild a config from a :meth:`to_state` dict."""
+        kwargs = dict(state)
+        kwargs["protocol"] = Protocol.from_name(kwargs["protocol"])
+        return cls(**kwargs)
 
 
 @dataclass(slots=True)
@@ -500,7 +540,11 @@ class OmegaNetworkSimulator:
     # ------------------------------------------------------------------
 
     def run(
-        self, warmup_cycles: int = 2000, measure_cycles: int = 10000
+        self,
+        warmup_cycles: int = 2000,
+        measure_cycles: int = 10000,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | Path | None = None,
     ) -> SimulationResult:
         """Warm up, measure, and summarize.
 
@@ -508,16 +552,55 @@ class OmegaNetworkSimulator:
         even if delivered during the measurement window; packets generated
         during measurement but still in flight at the end are simply not
         counted as delivered (standard open-loop methodology).
+
+        With both ``checkpoint_every`` and ``checkpoint_path`` set, a
+        full :meth:`snapshot` is written (atomically) to
+        ``checkpoint_path`` every ``checkpoint_every`` cycles; a run
+        restored from such a checkpoint (:func:`resume_run`) continues
+        here — ``self.cycle`` may already be non-zero — and finishes
+        bit-identical to an uninterrupted run.
         """
         if warmup_cycles < 0 or measure_cycles < 1:
             raise ConfigurationError("invalid warmup/measure cycle counts")
-        for _ in range(warmup_cycles):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
+        total_cycles = warmup_cycles + measure_cycles
+        if self.cycle > total_cycles:
+            raise ConfigurationError(
+                f"simulator already at cycle {self.cycle}, beyond the "
+                f"requested {total_cycles}-cycle window"
+            )
+        if checkpoint_every is not None and checkpoint_path is not None:
+            every: int | None = checkpoint_every
+            target: Path | None = Path(checkpoint_path)
+        else:
+            every = None
+            target = None
+        exit_at = os.environ.get(CHECKPOINT_EXIT_ENV)
+        while self.cycle < total_cycles:
+            if (
+                self.cycle == warmup_cycles
+                and self._measure_start_clock is None
+            ):
+                self._measure_start_clock = self.cycle * self.config.cycle_clocks
             self.step()
-        self._measure_start_clock = self.cycle * self.config.cycle_clocks
-        start_cycle = self.cycle
-        for _ in range(measure_cycles):
-            self.step()
-        self.meters.cycles = self.cycle - start_cycle
+            if (
+                every is not None
+                and target is not None
+                and self.cycle < total_cycles
+                and self.cycle % every == 0
+            ):
+                self.save_checkpoint(
+                    target,
+                    warmup_cycles,
+                    measure_cycles,
+                    checkpoint_every,
+                )
+                if exit_at is not None and self.cycle == int(exit_at):
+                    # Test hook: die like a killed worker, leaving the
+                    # just-written checkpoint as the recovery point.
+                    os._exit(CHECKPOINT_EXIT_CODE)
+        self.meters.cycles = measure_cycles
         return SimulationResult(
             buffer_kind=self.config.buffer_kind,
             protocol=str(self.config.protocol),
@@ -530,6 +613,138 @@ class OmegaNetworkSimulator:
             seed=self.config.seed,
             meters=self.meters,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Bit-exact, JSON-able snapshot of the whole simulation.
+
+        Captures everything the run's future depends on: the config, the
+        cycle counter and measurement window state, the packet-id
+        counter, every source's injection queue and (flushed — see
+        :meth:`~repro.network.sources.Source.snapshot_state`) RNG
+        stream, every sink and switch (buffers with their slot RAM and
+        pointer registers, arbiter fairness state, counters), the
+        meters' exact Welford accumulators, the link-serialization
+        registers with their in-flight transfers, and the fault model's
+        loss stream.  Taking a snapshot never perturbs the run: a
+        simulation continued after ``snapshot()`` is draw-for-draw
+        identical to one that never snapshotted.
+        """
+        pending = {
+            str(done): [
+                [kind, stage, index, port, packet.to_state()]
+                for kind, stage, index, port, packet in bucket
+            ]
+            for done, bucket in self._pending.items()
+        }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "config": self.config.to_state(),
+            "cycle": self.cycle,
+            "measure_start_clock": self._measure_start_clock,
+            "factory": self.factory.snapshot_state(),
+            "loss_rng": (
+                None if self._loss_rng is None else self._loss_rng.get_state()
+            ),
+            "sources": [source.snapshot_state() for source in self.sources],
+            "sinks": [sink.snapshot_state() for sink in self.sinks],
+            "switches": [
+                [switch.snapshot_state() for switch in row]
+                for row in self.switches
+            ],
+            "meters": self.meters.snapshot_state(),
+            "stage_slots": list(self._stage_slots),
+            "link_free_at": [
+                [list(row) for row in stage] for stage in self._link_free_at
+            ],
+            "reader_free_at": [
+                [list(row) for row in stage] for stage in self._reader_free_at
+            ],
+            "source_free_at": list(self._source_free_at),
+            "pending": pending,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Overwrite this simulator with a :meth:`snapshot` dict.
+
+        The simulator must have been built from the *same config* the
+        snapshot was taken under (checked); restoring mutates component
+        lists in place, so the flow-control closures and live-length
+        views wired at construction stay valid.
+        """
+        if state.get("version") != SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"snapshot version {state.get('version')!r} is not the "
+                f"supported version {SNAPSHOT_VERSION}"
+            )
+        if state["config"] != self.config.to_state():
+            raise ConfigurationError(
+                "snapshot was taken under a different NetworkConfig; "
+                "restore into a simulator built from the same config"
+            )
+        self.cycle = state["cycle"]
+        self._measure_start_clock = state["measure_start_clock"]
+        self.factory.restore_state(state["factory"])
+        if self._loss_rng is not None and state["loss_rng"] is not None:
+            self._loss_rng.set_state(state["loss_rng"])
+        for source, source_state in zip(self.sources, state["sources"]):
+            source.restore_state(source_state)
+        for sink, sink_state in zip(self.sinks, state["sinks"]):
+            sink.restore_state(sink_state)
+        for row, row_state in zip(self.switches, state["switches"]):
+            for switch, switch_state in zip(row, row_state):
+                switch.restore_state(switch_state)
+        self.meters.restore_state(state["meters"])
+        self._stage_slots[:] = state["stage_slots"]
+        # The innermost free-at lists are captured by the flow-control
+        # closures built in __init__ — mutate them in place.
+        for stage_rows, saved_stage in zip(
+            self._link_free_at, state["link_free_at"]
+        ):
+            for row_list, saved in zip(stage_rows, saved_stage):
+                row_list[:] = saved
+        for stage_rows, saved_stage in zip(
+            self._reader_free_at, state["reader_free_at"]
+        ):
+            for row_list, saved in zip(stage_rows, saved_stage):
+                row_list[:] = saved
+        self._source_free_at[:] = state["source_free_at"]
+        self._pending = {
+            int(done): [
+                (kind, stage, index, port, Packet.from_state(packet_state))
+                for kind, stage, index, port, packet_state in bucket
+            ]
+            for done, bucket in state["pending"].items()
+        }
+
+    def save_checkpoint(
+        self,
+        path: str | Path,
+        warmup_cycles: int,
+        measure_cycles: int,
+        checkpoint_every: int | None = None,
+    ) -> Path:
+        """Write a resumable checkpoint file (atomic replace).
+
+        The file records the run window alongside the snapshot, so
+        :func:`resume_run` needs nothing but the path.
+        """
+        document = {
+            "format": SNAPSHOT_VERSION,
+            "warmup_cycles": warmup_cycles,
+            "measure_cycles": measure_cycles,
+            "checkpoint_every": checkpoint_every,
+            "state": self.snapshot(),
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        scratch = target.with_name(f"{target.name}.tmp{os.getpid()}")
+        scratch.write_text(json.dumps(document))
+        os.replace(scratch, target)
+        return target
 
     @property
     def total_buffered(self) -> int:
@@ -575,11 +790,66 @@ def simulate(
     warmup_cycles: int = 2000,
     measure_cycles: int = 10000,
     sanitize: bool | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | Path | None = None,
 ) -> SimulationResult:
     """Build a simulator for ``config`` and run it once.
 
     ``sanitize`` as in :func:`make_simulator`; sanitized runs produce
     bit-identical results and additionally surface hardware-model
     violations through the simulator's sanitizer report.
+    ``checkpoint_every``/``checkpoint_path`` as in
+    :meth:`OmegaNetworkSimulator.run`.
     """
-    return make_simulator(config, sanitize).run(warmup_cycles, measure_cycles)
+    return make_simulator(config, sanitize).run(
+        warmup_cycles,
+        measure_cycles,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def load_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Read and validate a checkpoint document written by ``run``."""
+    document: dict[str, Any] = json.loads(Path(path).read_text())
+    if document.get("format") != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint {path} has format {document.get('format')!r}, "
+            f"expected {SNAPSHOT_VERSION}"
+        )
+    return document
+
+
+def restore_simulator(
+    state: dict[str, Any], sanitize: bool | None = None
+) -> OmegaNetworkSimulator:
+    """Rebuild a simulator from a :meth:`OmegaNetworkSimulator.snapshot`.
+
+    A fresh simulator is constructed from the snapshot's own config and
+    the snapshot restored into it, so the result is valid under either
+    the plain or the sanitized class — snapshots themselves are
+    sanitizer-agnostic (the sanitizer holds no simulation state).
+    """
+    config = NetworkConfig.from_state(state["config"])
+    simulator = make_simulator(config, sanitize)
+    simulator.restore(state)
+    return simulator
+
+
+def resume_run(
+    path: str | Path, sanitize: bool | None = None
+) -> SimulationResult:
+    """Resume an interrupted run from its last checkpoint file.
+
+    The finished result is bit-identical to the uninterrupted run:
+    the checkpoint captures every RNG stream, register and accumulator,
+    and the resumed ``run`` keeps checkpointing on the original cadence.
+    """
+    document = load_checkpoint(path)
+    simulator = restore_simulator(document["state"], sanitize)
+    return simulator.run(
+        document["warmup_cycles"],
+        document["measure_cycles"],
+        checkpoint_every=document["checkpoint_every"],
+        checkpoint_path=path,
+    )

@@ -16,6 +16,7 @@ feeds the latency/throughput accounting.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
 from repro.core.packet import Packet, PacketFactory
 from repro.errors import ConfigurationError
@@ -142,6 +143,38 @@ class Source:
         self.generated = 0
         self.stalled_cycles = 0
 
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Injection queue, counters and the *flushed* RNG state.
+
+        Flushing the batched coin first rewinds its pre-drawn block to
+        the scalar-equivalent generator state — a draw-for-draw no-op —
+        so the raw RNG state alone captures the coin, and a fresh coin
+        (empty block) built over the restored stream continues the exact
+        draw sequence.
+        """
+        self._coin.flush()
+        return {
+            "rng": self.rng.get_state(),
+            "queue": [packet.to_state() for packet in self.queue],
+            "generated": self.generated,
+            "stalled_cycles": self.stalled_cycles,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite this source with a :meth:`snapshot_state` dict."""
+        # Drop any pre-drawn coin block *before* installing the saved RNG
+        # state: the flush's rewind applies to the old state, which the
+        # set_state below then overwrites.
+        self._coin.flush()
+        self.rng.set_state(state["rng"])
+        self.queue.clear()
+        for packet_state in state["queue"]:
+            self.queue.append(Packet.from_state(packet_state))
+        self.generated = state["generated"]
+        self.stalled_cycles = state["stalled_cycles"]
+
 
 class Sink:
     """One memory-side receiver; accepts every packet immediately."""
@@ -163,3 +196,14 @@ class Sink:
         """Zero the delivery counters (end of warm-up)."""
         self.received = 0
         self.misrouted = 0
+
+    # -- checkpoint serialization ------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Delivery counters, JSON-able."""
+        return {"received": self.received, "misrouted": self.misrouted}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the counters with a :meth:`snapshot_state` dict."""
+        self.received = state["received"]
+        self.misrouted = state["misrouted"]

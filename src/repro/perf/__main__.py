@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cache.store import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.runner import EXPERIMENTS
 from repro.perf.harness import (
     compare_to_baseline,
@@ -74,9 +75,24 @@ def main(argv: list[str] | None = None) -> int:
         help="run under cProfile and write stats to PROF "
         "(inspect with python -m pstats)",
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="measure cold vs warm-cache wall time: the store is cleared, "
+        "each experiment runs cold (populating it) and again warm "
+        "(served from it); warm_* fields land in the benchmark JSON",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory for --cache (default: {DEFAULT_CACHE_DIR})",
+    )
     args = parser.parse_args(argv)
 
     experiment_ids = args.experiments or None
+    cache = ResultCache(args.cache_dir) if args.cache else None
 
     def measure() -> dict:
         return run_harness(
@@ -84,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             seed=args.seed,
             jobs=args.jobs,
+            cache=cache,
         )
 
     if args.profile:

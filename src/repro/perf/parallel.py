@@ -1,4 +1,4 @@
-"""Process-pool map over independent simulation runs.
+"""Process-pool map over independent simulation runs, with memoization.
 
 Every cell of the paper's tables is one :class:`NetworkConfig` simulated
 in isolation; all randomness derives from ``config.seed`` through named
@@ -7,6 +7,13 @@ it or in what order.  ``parallel_simulate`` exploits that: it fans a list
 of configs over a :class:`~concurrent.futures.ProcessPoolExecutor` and
 returns results in input order, byte-identical to the serial loop.
 
+The same purity makes the work *memoizable*.  When an experiment runs
+under an active :mod:`repro.cache` context, :func:`parallel_map` keys
+each unit of work by its canonical payload and the source-tree
+fingerprint, serves hits straight from the content-addressed store, and
+dispatches only the misses to the pool — a warm re-run of an unchanged
+suite performs zero simulations.
+
 ``jobs=1`` (the default everywhere) bypasses the pool entirely — the
 serial path runs the exact same ``simulate`` calls in the parent process,
 which keeps single-job behaviour free of multiprocessing overhead and
@@ -14,17 +21,24 @@ makes the serial/parallel equivalence trivial to test.
 
 A worker that dies (segfault, OOM kill, ``os._exit``) surfaces as a
 :class:`~repro.errors.SimulationError` rather than a hang or a raw
-``BrokenProcessPool``.
+``BrokenProcessPool`` — unless the active context has checkpointing
+configured, in which case the still-pending tasks are retried in a fresh
+pool and each replacement worker resumes its simulation from the dead
+worker's last on-disk checkpoint instead of starting over.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
+from repro.cache import runtime
+from repro.cache.keys import cache_key, canonical_json
 from repro.errors import ConfigurationError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -41,8 +55,13 @@ __all__ = [
 
 #: Network cycles simulated through this module since the last reset
 #: (parent-process view; the perf harness reads this to report
-#: simulated-cycles-per-second).
+#: simulated-cycles-per-second).  Cache hits perform no simulation and
+#: are not counted.
 _cycles_simulated = 0
+
+#: Fresh pools started after a worker death before giving up (only when
+#: the active context has checkpointing configured).
+_POOL_RETRIES = 2
 
 
 def simulated_cycles() -> int:
@@ -65,40 +84,136 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _dispatch(
+    fn: Callable[[Any], Any],
+    items: list[Any],
+    jobs: int,
+    retries: int,
+) -> list[Any]:
+    """Execute every item, in input order, with bounded pool restarts.
+
+    ``retries`` fresh pools may be started after a worker death;
+    completed results are kept and only the still-pending items are
+    resubmitted (their workers resume from on-disk checkpoints when the
+    tasks carry them).  With ``retries=0`` a dead worker raises
+    :class:`SimulationError` immediately, preserving the uncached
+    fail-fast behaviour.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    results: list[Any] = [None] * len(items)
+    pending = list(range(len(items)))
+    while True:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {pool.submit(fn, items[i]): i for i in pending}
+                for future in as_completed(futures):
+                    index = futures[future]
+                    results[index] = future.result()
+                    pending.remove(index)
+            return results
+        except BrokenProcessPool as exc:
+            if retries <= 0:
+                raise SimulationError(
+                    "a simulation worker process died before returning its "
+                    "result (crashed or killed); rerun with jobs=1 to debug "
+                    "in-process"
+                ) from exc
+            retries -= 1
+
+
 def parallel_map(
-    fn: Callable,
-    items: Iterable,
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
     jobs: int | None = 1,
-) -> list:
-    """``[fn(item) for item in items]``, optionally over a process pool.
+    *,
+    codec: str | None = None,
+    payloads: Sequence[Any] | None = None,
+    on_executed: Callable[[int], None] | None = None,
+) -> list[Any]:
+    """``[fn(item) for item in items]``, memoized and optionally pooled.
 
     ``fn`` and every item must be picklable (``fn`` defined at module top
     level).  Results come back in input order.  Exceptions raised *inside*
     a worker propagate unchanged; a worker process that dies outright is
-    reported as :class:`SimulationError`.
+    reported as :class:`SimulationError` (or retried, when the active
+    cache context has checkpointing configured).
+
+    ``codec`` opts the call into the result cache: when a
+    :mod:`repro.cache` context is active, each unit of work is keyed by
+    the matching entry of ``payloads`` (a JSON-able description;
+    defaults to the items themselves) and hits skip execution entirely.
+    Cached results must never be ``None`` — ``None`` is the miss
+    sentinel.  ``on_executed`` receives the number of items actually
+    executed (for the harness's cycle accounting).
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            return list(pool.map(fn, items))
-    except BrokenProcessPool as exc:
-        raise SimulationError(
-            "a simulation worker process died before returning its result "
-            "(crashed or killed); rerun with jobs=1 to debug in-process"
-        ) from exc
+    context = runtime.active()
+    retries = (
+        _POOL_RETRIES if context is not None and context.checkpointing else 0
+    )
+    cache = context.cache if context is not None and codec is not None else None
+    if cache is None or context is None:
+        if on_executed is not None:
+            on_executed(len(items))
+        return _dispatch(fn, items, jobs, retries)
+    described = list(payloads) if payloads is not None else items
+    if len(described) != len(items):
+        raise ConfigurationError(
+            f"parallel_map got {len(items)} items but "
+            f"{len(described)} payloads"
+        )
+    keys = [cache_key(context.experiment, codec, p) for p in described]
+    results: list[Any] = [None] * len(items)
+    missed: list[int] = []
+    for index, key in enumerate(keys):
+        hit = cache.get(key)
+        if hit is None:
+            missed.append(index)
+        else:
+            results[index] = hit
+    if on_executed is not None:
+        on_executed(len(missed))
+    if missed:
+        fresh = _dispatch(fn, [items[i] for i in missed], jobs, retries)
+        for index, result in zip(missed, fresh):
+            cache.put(keys[index], context.experiment, codec, result)
+            results[index] = result
+    return results
 
 
-def _simulate_task(task: tuple) -> "SimulationResult":
-    """Pool worker: run one (config, warmup, measure) simulation."""
+def _simulate_task(task: tuple[Any, ...]) -> "SimulationResult":
+    """Pool worker: run one simulation, resumable when checkpointed.
+
+    Accepts ``(config, warmup, measure)`` or the checkpointed form
+    ``(config, warmup, measure, checkpoint_every, checkpoint_path)``.
+    A checkpointed task whose file already exists belonged to a worker
+    that died mid-run: the replacement resumes from the checkpoint — a
+    bit-identical continuation — instead of starting over.  The file is
+    removed once the run completes.
+    """
     # Imported here (cached after the first call) so this module can be
     # imported by repro.network.saturation without a circular import.
-    from repro.network.simulator import simulate
+    from repro.network.simulator import resume_run, simulate
 
-    config, warmup_cycles, measure_cycles = task
-    return simulate(config, warmup_cycles, measure_cycles)
+    if len(task) == 3:
+        config, warmup_cycles, measure_cycles = task
+        return simulate(config, warmup_cycles, measure_cycles)
+    config, warmup_cycles, measure_cycles, every, path = task
+    checkpoint = Path(path)
+    if checkpoint.exists():
+        result = resume_run(checkpoint)
+    else:
+        result = simulate(
+            config,
+            warmup_cycles,
+            measure_cycles,
+            checkpoint_every=every,
+            checkpoint_path=checkpoint,
+        )
+    checkpoint.unlink(missing_ok=True)
+    return result
 
 
 def parallel_simulate(
@@ -111,12 +226,55 @@ def parallel_simulate(
 
     Per-config seeding makes the result list byte-identical for any
     ``jobs`` value; ``jobs=1`` is a plain serial loop in this process.
+    Under an active cache context, previously computed configs are
+    served from the store (and only cache misses count toward
+    :func:`simulated_cycles`); with checkpointing configured, each
+    simulation periodically checkpoints into the context's directory so
+    a dead worker's replacement resumes instead of restarting.
     """
-    global _cycles_simulated
     configs = list(configs)
-    _cycles_simulated += (warmup_cycles + measure_cycles) * len(configs)
+    payloads = [
+        {
+            "config": config.to_state(),
+            "warmup": warmup_cycles,
+            "measure": measure_cycles,
+        }
+        for config in configs
+    ]
+    context = runtime.active()
+    tasks: list[tuple[Any, ...]]
+    if (
+        context is not None
+        and context.checkpoint_every is not None
+        and context.checkpoint_dir is not None
+    ):
+        directory = context.checkpoint_dir
+        tasks = []
+        for config, payload in zip(configs, payloads):
+            stamp = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+            tasks.append(
+                (
+                    config,
+                    warmup_cycles,
+                    measure_cycles,
+                    context.checkpoint_every,
+                    str(directory / f"{stamp[:32]}.ckpt"),
+                )
+            )
+    else:
+        tasks = [
+            (config, warmup_cycles, measure_cycles) for config in configs
+        ]
+
+    def count_cycles(executed: int) -> None:
+        global _cycles_simulated
+        _cycles_simulated += (warmup_cycles + measure_cycles) * executed
+
     return parallel_map(
         _simulate_task,
-        [(config, warmup_cycles, measure_cycles) for config in configs],
+        tasks,
         jobs=jobs,
+        codec="simulation-result",
+        payloads=payloads,
+        on_executed=count_cycles,
     )

@@ -22,7 +22,7 @@ blocked under the discarding protocol).
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
@@ -84,6 +84,27 @@ class CrossbarArbiter:
     def stale_count(self, input_port: int, output_port: int) -> int:
         """Current stale count of one queue (for tests and metrics)."""
         return self._stale[input_port][output_port]
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Fairness state (priority pointer + stale counts), JSON-able.
+
+        ``_orders`` is derived purely from the dimensions and is rebuilt
+        by construction, so only the mutable registers are captured.
+        """
+        return {
+            "priority": self._priority,
+            "stale": [list(row) for row in self._stale],
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the fairness state with a :meth:`snapshot_state` dict."""
+        self._priority = state["priority"]
+        for row, saved in zip(self._stale, state["stale"]):
+            row[:] = saved
 
     # ------------------------------------------------------------------
     # Arbitration

@@ -12,7 +12,7 @@ and the simulator moves the granted packets downstream.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
@@ -159,6 +159,38 @@ class Switch:
         """Zero the receive/forward counters (end of warm-up)."""
         self.packets_received = 0
         self.packets_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Buffers, arbiter fairness state and counters, JSON-able.
+
+        The crossbar carries no cross-cycle state (it is reset at every
+        arbitration), so it is not captured.
+        """
+        return {
+            "buffers": [buffer.snapshot_state() for buffer in self.buffers],
+            "arbiter": self.arbiter.snapshot_state(),
+            "packets_received": self.packets_received,
+            "packets_forwarded": self.packets_forwarded,
+            "occupancy": self._occupancy,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the switch with a :meth:`snapshot_state` dict.
+
+        Buffer restores mutate their internal length registers in place,
+        which keeps this switch's live-length views (and the simulator's
+        flow-control closures over the buffers) valid.
+        """
+        for buffer, buffer_state in zip(self.buffers, state["buffers"]):
+            buffer.restore_state(buffer_state)
+        self.arbiter.restore_state(state["arbiter"])
+        self.packets_received = state["packets_received"]
+        self.packets_forwarded = state["packets_forwarded"]
+        self._occupancy = state["occupancy"]
 
     def _check_input(self, input_port: int) -> None:
         if not 0 <= input_port < self.num_inputs:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Sequence
-from typing import TypeVar
+from typing import Any, TypeVar
 
 import numpy as np
 
@@ -87,6 +87,27 @@ class RandomStream:
     def geometric(self, probability: float) -> int:
         """Return a geometric draw (number of trials until first success)."""
         return int(self._gen.geometric(probability))
+
+    def get_state(self) -> dict[str, Any]:
+        """The underlying bit generator's exact state (JSON-able).
+
+        PCG64's state dict holds only strings and plain Python ints
+        (arbitrary precision survives JSON), so a
+        :meth:`set_state` round-trip reproduces the draw sequence
+        bit-for-bit.
+        """
+        state: dict[str, Any] = self._gen.bit_generator.state
+        return state
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`get_state` snapshot.
+
+        Mutates the stream's existing generator object in place, so every
+        consumer holding a reference to it (e.g. a
+        :class:`BatchedBernoulli` coin built on this stream) sees the
+        restored state too.
+        """
+        self._gen.bit_generator.state = state
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RandomStream(seed={self.seed}, name={self.name!r})"
@@ -184,21 +205,38 @@ class BatchedBernoulli:
         hit = bool(buffer[self._pos] < probability)
         self._pos += 1
         if hit:
-            unused = self._block - self._pos
-            if unused:
-                # Step the generator state *back* over the unused draws so
-                # the next draw on the stream (from anyone) sees exactly
-                # the state a scalar sequence would have left.
-                self._bit.advance(self._PERIOD - unused)
-                if self._cache_has:
-                    state = self._bit.state
-                    state["has_uint32"] = self._cache_has
-                    state["uinteger"] = self._cache_val
-                    self._bit.state = state
-            self._buffer = None
+            self._rewind_unused()
         elif self._pos == self._block:
             self._buffer = None
         return hit
+
+    def flush(self) -> None:
+        """Discard the pre-drawn block, leaving the scalar-equivalent state.
+
+        After a flush the stream's generator holds exactly the state a
+        scalar draw-per-call sequence would have left, so its raw state
+        can be snapshotted and later restored into a *fresh* coin (whose
+        buffer starts empty) without perturbing a single subsequent draw.
+        This is the same rewind the hit path performs, so flushing
+        mid-run is itself draw-for-draw invisible.
+        """
+        if self._buffer is not None:
+            self._rewind_unused()
+
+    def _rewind_unused(self) -> None:
+        """Step the generator back over the block's unconsumed draws."""
+        unused = self._block - self._pos
+        if unused:
+            # Step the generator state *back* over the unused draws so
+            # the next draw on the stream (from anyone) sees exactly
+            # the state a scalar sequence would have left.
+            self._bit.advance(self._PERIOD - unused)
+            if self._cache_has:
+                state = self._bit.state
+                state["has_uint32"] = self._cache_has
+                state["uinteger"] = self._cache_val
+                self._bit.state = state
+        self._buffer = None
 
 
 def spawn_streams(seed: int, names: Sequence[str]) -> dict[str, RandomStream]:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Any
 
 __all__ = ["OnlineStats", "RateMeter"]
 
@@ -80,6 +81,35 @@ class OnlineStats:
         if math.isnan(stddev):
             return math.nan
         return z * stddev / math.sqrt(self.count)
+
+    def get_state(self) -> dict[str, Any]:
+        """The exact accumulator state, as a JSON-able dict.
+
+        Floats survive a JSON round-trip bit-exactly (``repr``-based
+        encoding), including the ``inf``/``-inf`` sentinels of an empty
+        accumulator, so a restored accumulator continues producing the
+        same Welford trajectory as the original.
+        """
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Overwrite this accumulator with a :meth:`get_state` snapshot.
+
+        Values are adopted without coercion: ``minimum``/``maximum`` keep
+        whatever numeric type the samples had (an all-int stream leaves
+        int extrema), which JSON preserves exactly.
+        """
+        self.count = state["count"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+        self.minimum = state["minimum"]
+        self.maximum = state["maximum"]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"OnlineStats(count={self.count}, mean={self.mean:.4g})"

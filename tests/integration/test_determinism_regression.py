@@ -13,12 +13,15 @@ pinned values unless the simulation semantics were changed on purpose (and
 EXPERIMENTS.md regenerated to match).
 """
 
+import json
+
 import pytest
 
 from repro.network.simulator import (
     NetworkConfig,
     OmegaNetworkSimulator,
     make_simulator,
+    restore_simulator,
 )
 from repro.switch.flow_control import Protocol
 
@@ -123,3 +126,48 @@ def test_sanitized_run_matches_pins_exactly(name, monkeypatch):
     simulator.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
     assert checksum(simulator.meters) == pin["expected"]
     assert simulator.sanitizer.clean, simulator.sanitizer.render()
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_snapshot_restore_round_trip_matches_pins_exactly(name):
+    """A mid-run snapshot → JSON → restore → continue must hit the pins.
+
+    The snapshot is taken at an arbitrary cycle inside warm-up, pushed
+    through an actual JSON round trip (what a checkpoint file does), and
+    restored into a freshly built simulator.  The finished run must
+    reproduce every pinned value bit for bit — including the int-typed
+    latency minimum, which a careless float coercion in restore would
+    silently widen.
+    """
+    pin = PINNED[name]
+    simulator = OmegaNetworkSimulator(NetworkConfig(**pin["config"]))
+    for _ in range(137):
+        simulator.step()
+    state = json.loads(json.dumps(simulator.snapshot()))
+    resumed = restore_simulator(state)
+    resumed.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(resumed.meters) == pin["expected"]
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_sanitized_snapshot_restore_matches_pins_exactly(name, monkeypatch):
+    """Snapshot under REPRO_SANITIZE=1, restore sanitized, hit the pins.
+
+    Snapshots are sanitizer-agnostic: one taken by an instrumented
+    simulator restores into another instrumented simulator (whose slot
+    lifecycle state is re-derived from the restored register files) and
+    the continued run must match the plain-run pins exactly, with zero
+    violations reported.
+    """
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    for _ in range(137):
+        simulator.step()
+    state = json.loads(json.dumps(simulator.snapshot()))
+    resumed = make_simulator(NetworkConfig(**pin["config"]))
+    assert resumed.sanitizer is not None
+    resumed.restore(state)
+    resumed.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(resumed.meters) == pin["expected"]
+    assert resumed.sanitizer.clean, resumed.sanitizer.render()

@@ -127,3 +127,88 @@ class TestFigure3Plot:
 
     def test_ascii_plot_empty(self):
         assert figure3.ascii_plot({}) == "(no data)"
+
+
+class TestRunAll:
+    """run_all drives every registered experiment through one cache."""
+
+    @staticmethod
+    def _stub(name, calls):
+        def run(quick=False, seed=1988, jobs=1):
+            from repro.cache import runtime
+
+            context = runtime.active()
+            assert context is not None, "runner must activate a context"
+            calls.append(
+                {
+                    "name": name,
+                    "quick": quick,
+                    "seed": seed,
+                    "jobs": jobs,
+                    "experiment": context.experiment,
+                    "cache": context.cache,
+                    "checkpointing": context.checkpointing,
+                }
+            )
+            return ExperimentResult(
+                experiment_id=name, title=name, paper_reference="stub"
+            )
+
+        return run
+
+    def test_runs_every_experiment_in_order(self, monkeypatch, tmp_path):
+        from repro.cache import runtime
+        from repro.cache.store import ResultCache
+        from repro.experiments import runner
+
+        calls = []
+        monkeypatch.setattr(
+            runner,
+            "EXPERIMENTS",
+            {
+                "alpha": self._stub("alpha", calls),
+                "beta": self._stub("beta", calls),
+            },
+        )
+        cache = ResultCache(tmp_path / "cache")
+        results = runner.run_all(
+            quick=True,
+            seed=7,
+            jobs=2,
+            cache=cache,
+            checkpoint_every=500,
+            checkpoint_dir=tmp_path / "checkpoints",
+        )
+        assert [r.experiment_id for r in results] == ["alpha", "beta"]
+        assert [c["experiment"] for c in calls] == ["alpha", "beta"]
+        for call in calls:
+            assert call["quick"] is True
+            assert call["seed"] == 7
+            assert call["jobs"] == 2
+            assert call["cache"] is cache  # one store shared by the suite
+            assert call["checkpointing"] is True
+        # The context is torn down between and after experiments.
+        assert runtime.active() is None
+
+    def test_defaults_run_without_cache(self, monkeypatch):
+        from repro.experiments import runner
+
+        calls = []
+        monkeypatch.setattr(
+            runner, "EXPERIMENTS", {"solo": self._stub("solo", calls)}
+        )
+        results = runner.run_all()
+        assert len(results) == 1
+        assert calls[0]["cache"] is None
+        assert calls[0]["checkpointing"] is False
+
+    def test_run_experiment_normalizes_case(self, monkeypatch):
+        from repro.experiments import runner
+
+        calls = []
+        monkeypatch.setattr(
+            runner, "EXPERIMENTS", {"mixed": self._stub("mixed", calls)}
+        )
+        result = runner.run_experiment("MiXeD")
+        assert result.experiment_id == "mixed"
+        assert calls[0]["experiment"] == "mixed"

@@ -49,3 +49,26 @@ class TestExportResult:
         assert written[0].name == "table9_0_first.csv"
         assert written[1].name == "table9_1_second.csv"
         assert all(path.exists() for path in written)
+
+    def test_no_tables_writes_nothing(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="empty", title="E", paper_reference="none"
+        )
+        assert export_result(result, tmp_path) == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_accepts_string_directory(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="t", title="T", paper_reference="T"
+        )
+        result.tables.append(make_table("only"))
+        written = export_result(result, str(tmp_path / "sub"))
+        assert written[0].exists()
+
+    def test_csv_matches_rendered_table_cells(self, tmp_path):
+        table = make_table("cells")
+        path = export_table(table, tmp_path / "cells.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == table.columns
+        assert rows[1:] == table.rows
