@@ -1,4 +1,4 @@
-"""AST-based determinism linter with repo-specific rules (REP001..REP006).
+"""AST-based determinism linter with repo-specific rules (REP001..REP007).
 
 The rules encode the reproducibility contract of this codebase — every
 stochastic draw goes through :mod:`repro.utils.rng`, simulation paths never
@@ -28,6 +28,7 @@ __all__ = [
     "LintRule",
     "RULES",
     "SIMULATION_PACKAGES",
+    "WALL_CLOCK_ALLOWLIST",
     "lint_paths",
     "lint_source",
 ]
@@ -181,6 +182,24 @@ class Rep006MutableDefault(LintRule):
     code = "REP006"
 
 
+class Rep007WallClockOutsideAllowlist(LintRule):
+    """Wall-clock read outside the measurement allowlist.
+
+    Beyond the simulation packages (REP002), *any* library module that
+    reads a wall clock undermines reproducibility: results and artifacts
+    start depending on when and on what machine a run happened.  Only
+    ``repro.perf`` (the measurement harness — its entire purpose is
+    timing) and ``repro.telemetry`` (exports may stamp real durations)
+    may call ``time.time``/``perf_counter``/``datetime.now`` and friends.
+    CLI progress timing in ``__main__`` modules is legitimate — suppress
+    with ``# repro: noqa=REP007`` and a justification.  Tests and the
+    simulation packages themselves are out of scope (the latter are
+    REP002's, which carries no allowlist at all).
+    """
+
+    code = "REP007"
+
+
 #: Registry of every rule, by code.
 RULES: dict[str, type[LintRule]] = {
     rule.code: rule
@@ -191,6 +210,7 @@ RULES: dict[str, type[LintRule]] = {
         Rep004FloatEquality,
         Rep005BareAssert,
         Rep006MutableDefault,
+        Rep007WallClockOutsideAllowlist,
     )
 }
 
@@ -232,6 +252,11 @@ _WALL_CLOCK_CALLS = frozenset(
 #: Bare constructor names REP006 flags when used as defaults.
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "deque", "defaultdict"})
 
+#: Packages whose modules may read wall clocks (REP007): the measurement
+#: harness exists to time things, and telemetry exports may stamp real
+#: durations.  Everything else must justify each read with a noqa.
+WALL_CLOCK_ALLOWLIST = ("repro.perf", "repro.telemetry")
+
 
 @dataclass(frozen=True)
 class _FileContext:
@@ -253,6 +278,15 @@ class _FileContext:
     @property
     def is_rng_module(self) -> bool:
         return self.module == RNG_MODULE
+
+    @property
+    def in_wall_clock_allowlist(self) -> bool:
+        if self.module is None:
+            return False
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in WALL_CLOCK_ALLOWLIST
+        )
 
 
 def _classify(path: Path) -> _FileContext:
@@ -360,6 +394,7 @@ class _FileChecker(ast.NodeVisitor):
         if canonical is not None:
             self._check_rep001(node, canonical)
             self._check_rep002(node, canonical)
+            self._check_rep007(node, canonical)
         self.generic_visit(node)
 
     def _check_rep001(self, node: ast.Call, canonical: str) -> None:
@@ -389,6 +424,22 @@ class _FileChecker(ast.NodeVisitor):
                 f"wall-clock read {canonical}() inside a simulation path; "
                 f"derive timing from simulated cycles (wall clocks belong "
                 f"in repro.perf)",
+            )
+
+    def _check_rep007(self, node: ast.Call, canonical: str) -> None:
+        if self.context.is_test or self.context.module is None:
+            return
+        if self.context.in_wall_clock_allowlist:
+            return
+        if self.context.in_simulation_path:
+            return  # REP002's territory — no allowlist applies there
+        if canonical in _WALL_CLOCK_CALLS:
+            self._add(
+                "REP007",
+                node,
+                f"wall-clock read {canonical}() outside the measurement "
+                f"allowlist ({', '.join(WALL_CLOCK_ALLOWLIST)}); justify "
+                f"with a noqa comment or move the timing into repro.perf",
             )
 
     # -- REP003: set iteration -------------------------------------------

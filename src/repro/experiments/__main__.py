@@ -14,6 +14,7 @@ Run selected experiments quickly::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -80,7 +81,32 @@ def main(argv: list[str] | None = None) -> int:
         "interrupted simulation continues bit-identically "
         "(checkpoints live under CACHE_DIR/checkpoints)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every simulation with full event tracing and export VCD "
+        "waveforms, Chrome traces and metrics into TRACE_DIR "
+        "(results stay bit-identical to an untraced run)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="like --trace but counters only: no event ring, no waveforms, "
+        "just the merged metrics documents (lower overhead)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default="telemetry",
+        help="export directory for --trace/--metrics artifacts "
+        "(default: ./telemetry)",
+    )
     args = parser.parse_args(argv)
+    if args.trace or args.metrics:
+        # Environment, not a parameter, so the parallel workers of
+        # parallel_simulate inherit it exactly like REPRO_SANITIZE.
+        env_name = "REPRO_TRACE" if args.trace else "REPRO_METRICS"
+        os.environ[env_name] = args.trace_dir
     cache = ResultCache(args.cache_dir) if args.cache else None
     checkpoint_dir = (
         Path(args.cache_dir) / "checkpoints"
@@ -89,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     requested = args.experiments or list(EXPERIMENTS)
     for experiment_id in requested:
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa=REP007 - CLI timing
         result = run_experiment(
             experiment_id,
             quick=args.quick,
@@ -99,7 +125,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=checkpoint_dir,
         )
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro: noqa=REP007 - CLI timing
         print(result.render())
         if args.csv_dir is not None:
             from repro.experiments.export import export_result
@@ -108,6 +134,18 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote {path}")
         print(f"\n({experiment_id} completed in {elapsed:.1f}s)\n")
         print("=" * 72)
+    if args.trace or args.metrics:
+        from repro.telemetry.report import (
+            merge_metrics_documents,
+            metrics_files,
+            render_report,
+        )
+
+        paths = metrics_files(args.trace_dir)
+        if paths:
+            registry, info = merge_metrics_documents(paths)
+            print(render_report(registry, info))
+            print(f"telemetry artifacts in {args.trace_dir}/")
     return 0
 
 

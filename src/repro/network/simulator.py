@@ -763,26 +763,64 @@ class OmegaNetworkSimulator:
 
 
 def make_simulator(
-    config: NetworkConfig, sanitize: bool | None = None
+    config: NetworkConfig,
+    sanitize: bool | None = None,
+    trace: bool | None = None,
 ) -> OmegaNetworkSimulator:
-    """Build a plain or sanitizer-instrumented simulator for ``config``.
+    """Build a plain, sanitized or telemetry-instrumented simulator.
 
     ``sanitize=None`` (the default) consults the ``REPRO_SANITIZE``
     environment variable, so an unmodified experiment pipeline — including
     the parallel workers of :mod:`repro.perf`, which inherit the
     environment — runs sanitized when the user exports ``REPRO_SANITIZE=1``.
-    The sanitizer observes without perturbing (no RNG draws, no behaviour
-    changes), so results are bit-identical either way; the plain path
-    constructs :class:`OmegaNetworkSimulator` directly and carries zero
-    instrumentation overhead.
+    ``trace=None`` likewise consults ``REPRO_TRACE`` (full event tracing)
+    and ``REPRO_METRICS`` (counters only, no event ring); when either
+    names a directory, the run exports its telemetry artifacts there.
+    Both instrumentations observe without perturbing (no RNG draws, no
+    behaviour changes), so results are bit-identical either way; with
+    everything off, this constructs :class:`OmegaNetworkSimulator`
+    directly and carries zero instrumentation overhead.
+
+    Sanitizing and tracing both claim the buffer classes via
+    ``__class__`` adoption, so combining them is rejected rather than
+    silently half-applied.
     """
     if sanitize is None:
         sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
-    if not sanitize:
-        return OmegaNetworkSimulator(config)
-    from repro.analysis.sanitizer import SanitizedOmegaNetworkSimulator
+    trace_dir: str | None
+    metrics_dir: str | None
+    if trace is None:
+        from repro.telemetry.session import metrics_directory, trace_directory
 
-    return SanitizedOmegaNetworkSimulator(config)
+        trace_dir = trace_directory()
+        metrics_dir = metrics_directory()
+    else:
+        trace_dir = "" if trace else None
+        metrics_dir = None
+    if trace_dir is None and metrics_dir is None:
+        if not sanitize:
+            return OmegaNetworkSimulator(config)
+        from repro.analysis.sanitizer import SanitizedOmegaNetworkSimulator
+
+        return SanitizedOmegaNetworkSimulator(config)
+    if sanitize:
+        raise ConfigurationError(
+            "REPRO_SANITIZE and REPRO_TRACE/REPRO_METRICS are mutually "
+            "exclusive: both instrument the buffer classes via __class__ "
+            "adoption; run them in separate passes"
+        )
+    from repro.telemetry.session import TraceSession
+    from repro.telemetry.simulator import TracedOmegaNetworkSimulator
+
+    if trace_dir is not None:
+        session = TraceSession()
+        export = trace_dir
+    else:
+        session = TraceSession(capacity=0)
+        export = metrics_dir or ""
+    return TracedOmegaNetworkSimulator(
+        config, session=session, export_dir=export or None
+    )
 
 
 def simulate(

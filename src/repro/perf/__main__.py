@@ -89,7 +89,29 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_CACHE_DIR,
         help=f"cache directory for --cache (default: {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="benchmark with full event tracing enabled (quantifies the "
+        "telemetry overhead; artifacts land in TRACE_DIR)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="benchmark with metrics-only telemetry (counters, no ring)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default="telemetry",
+        help="export directory for --trace/--metrics (default: ./telemetry)",
+    )
     args = parser.parse_args(argv)
+    if args.trace or args.metrics:
+        import os
+
+        env_name = "REPRO_TRACE" if args.trace else "REPRO_METRICS"
+        os.environ[env_name] = args.trace_dir
 
     experiment_ids = args.experiments or None
     cache = ResultCache(args.cache_dir) if args.cache else None

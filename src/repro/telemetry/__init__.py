@@ -1,0 +1,77 @@
+"""repro.telemetry — cycle-level tracing, metrics and waveform export.
+
+The observability subsystem: a zero-overhead-when-disabled event bus
+(:class:`TraceSession`) that instruments buffers, slot managers,
+arbiters, the omega-network simulator and the ComCoBB chip ports via the
+same ``__class__``-adoption trick as :mod:`repro.analysis.sanitizer`; a
+labelled :class:`MetricsRegistry` (counters, gauges, Welford histograms)
+with bit-exact snapshots that compose with :mod:`repro.cache`
+checkpoints and ``parallel_simulate`` merges; and exporters for VCD
+waveforms (GTKWave), Chrome ``trace_event`` JSON (``about://tracing``)
+and plain-text reports.
+
+Enable on any run with ``REPRO_TRACE=<dir>`` (full event tracing plus
+export) or ``REPRO_METRICS=<dir>`` (counters only, no event ring), or
+the ``--trace``/``--metrics`` flags of ``python -m repro.experiments``.
+With both unset, simulations construct the plain classes and no
+telemetry code runs at all.
+"""
+
+from repro.telemetry.chrome import validate_chrome_trace, write_chrome_trace
+from repro.telemetry.events import (
+    DEFAULT_RING_CAPACITY,
+    EVENT_KINDS,
+    EventRing,
+    TraceEvent,
+)
+from repro.telemetry.metrics import (
+    METRICS_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.report import (
+    jain_fairness,
+    load_metrics_document,
+    merge_metrics_documents,
+    metrics_files,
+    render_report,
+)
+from repro.telemetry.session import (
+    METRICS_ENV,
+    TRACE_ENV,
+    TraceSession,
+    metrics_directory,
+    trace_directory,
+)
+from repro.telemetry.simulator import TracedOmegaNetworkSimulator, config_tag
+from repro.telemetry.vcd import read_vcd, write_vcd
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RING_CAPACITY",
+    "EVENT_KINDS",
+    "EventRing",
+    "Gauge",
+    "Histogram",
+    "METRICS_ENV",
+    "METRICS_VERSION",
+    "MetricsRegistry",
+    "TRACE_ENV",
+    "TraceEvent",
+    "TraceSession",
+    "TracedOmegaNetworkSimulator",
+    "config_tag",
+    "jain_fairness",
+    "load_metrics_document",
+    "merge_metrics_documents",
+    "metrics_files",
+    "read_vcd",
+    "render_report",
+    "trace_directory",
+    "metrics_directory",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_vcd",
+]

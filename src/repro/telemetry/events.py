@@ -1,0 +1,129 @@
+"""Typed, cycle-stamped trace events and the bounded ring that holds them.
+
+Every instrumented component funnels its observations through
+:meth:`repro.telemetry.session.TraceSession.emit`, which stamps the
+session's current network cycle onto a :class:`TraceEvent` and appends it
+to an :class:`EventRing`.  The ring is *bounded*: a long run cannot grow
+memory without limit, and the exporters state explicitly how many early
+events were dropped so a truncated waveform is never mistaken for a
+complete one.
+
+Event taxonomy (``kind`` / what the remaining fields mean):
+
+=========== =============================== ======================= ==================
+kind        component                       port / value            extra
+=========== =============================== ======================= ==================
+enqueue     buffer (``stageS.switchI.inP``) dest queue / new length free slots after
+dequeue     buffer                          dest queue / new length free slots after
+grant       switch (``stageS.switchI``)     input port / output     packet size
+deny        switch                          input port / longest q  0
+block       buffer                          output port / 1         0
+unblock     buffer                          output port / 0         0
+link        switch or chip port             output port / pkt size  packet id (or 0)
+deliver     ``network``                     sink port / pkt size    packet id
+loss        switch or ``network``           output port / pkt size  packet id
+drop        ``network``                     -1 / pkt size           packet id
+alloc       slot manager (buffer label)     list id / slot          free slots after
+free        slot manager                    -1 / slot               free slots after
+retire      slot manager                    -1 / slot               free slots after
+=========== =============================== ======================= ==================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, NamedTuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DEFAULT_RING_CAPACITY", "EVENT_KINDS", "EventRing", "TraceEvent"]
+
+#: Default bound on retained events (~4 MB of tuples); override via
+#: ``TraceSession(capacity=...)``.  ``0`` disables event retention
+#: entirely (metrics-only mode) while still counting emissions.
+DEFAULT_RING_CAPACITY = 65536
+
+#: Every ``kind`` the instrumentation emits (see the module docstring).
+EVENT_KINDS = (
+    "enqueue",
+    "dequeue",
+    "grant",
+    "deny",
+    "block",
+    "unblock",
+    "link",
+    "deliver",
+    "loss",
+    "drop",
+    "alloc",
+    "free",
+    "retire",
+)
+
+
+class TraceEvent(NamedTuple):
+    """One observation, stamped with the network cycle it happened in.
+
+    A named tuple rather than a dataclass: events are created on the
+    simulator's hot path when tracing is on, and tuple construction is
+    markedly cheaper than field-by-field dataclass init.
+    """
+
+    cycle: int
+    kind: str
+    component: str
+    port: int
+    value: int
+    extra: int
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able representation (used by tests and exporters)."""
+        return {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "component": self.component,
+            "port": self.port,
+            "value": self.value,
+            "extra": self.extra,
+        }
+
+
+class EventRing:
+    """Bounded FIFO of trace events with an exact emission count.
+
+    Appending beyond ``capacity`` silently evicts the *oldest* event (the
+    most recent window is the interesting one for waveforms), but the
+    total emission count keeps incrementing, so :attr:`dropped` reports
+    exactly how much history was lost.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 0:
+            raise ConfigurationError("event ring capacity must be >= 0")
+        self.capacity = capacity
+        self.emitted = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def append(self, event: TraceEvent) -> None:
+        """Record one event (evicting the oldest beyond capacity)."""
+        self.emitted += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted (or never retained, in metrics-only mode)."""
+        return self.emitted - len(self._events)
+
+    def clear(self) -> None:
+        """Forget retained events; the emission count keeps its total."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)

@@ -1,0 +1,298 @@
+"""Omega-network simulator with full telemetry instrumentation.
+
+:class:`TracedOmegaNetworkSimulator` is a drop-in replacement for
+:class:`~repro.network.simulator.OmegaNetworkSimulator`: identical
+configuration, identical results (telemetry observes, never perturbs —
+it draws nothing from any RNG), plus a :attr:`session` holding the event
+ring and metrics for the whole run.
+
+Instrumentation strategy, mirroring the sanitizer's:
+
+* the buffer factory is wrapped so every input buffer (and each DAMQ
+  buffer's slot manager) is adopted at construction;
+* every switch's arbiter is adopted after construction;
+* the flow-control predicates built by ``_make_blocked`` are wrapped to
+  emit block/unblock *transition* events per (input, output) pair;
+* ``step`` stamps the session's cycle; ``_forward``/``_deliver``/
+  ``_count_discard`` observe packet movement by diffing the plain code's
+  own side effects (stage slot counts, sink counters, meters), so the
+  datapath itself stays byte-for-byte the inherited implementation.
+
+The network-level counters reconcile exactly with the simulator's
+meters: ``packets_delivered_measured`` equals ``meters.delivered``,
+``packets_lost_measured`` equals ``meters.lost``, and
+``packets_delivered_total`` equals the sum of every sink's ``received``
+counter (warm-up deliveries included).
+
+When built by :func:`repro.network.simulator.make_simulator` under
+``REPRO_TRACE=<dir>`` (or ``REPRO_METRICS=<dir>``), :meth:`run` exports
+the VCD waveform, Chrome ``trace_event`` JSON and metrics document into
+``<dir>`` after the run completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.network.metrics import SimulationResult
+from repro.network.simulator import NetworkConfig, OmegaNetworkSimulator
+from repro.switch.arbiter import BlockedPredicate
+from repro.telemetry.chrome import write_chrome_trace
+from repro.telemetry.metrics import METRICS_VERSION
+from repro.telemetry.session import TraceSession
+from repro.telemetry.vcd import write_vcd
+
+__all__ = ["TracedOmegaNetworkSimulator", "config_tag"]
+
+
+def config_tag(config: NetworkConfig) -> str:
+    """Deterministic file-name stem identifying one config's exports."""
+    load = f"{config.offered_load:g}".replace(".", "p")
+    return (
+        f"{config.buffer_kind.lower()}_{config.protocol}"
+        f"_{config.traffic_kind}_n{config.num_ports}_r{config.radix}"
+        f"_s{config.slots_per_buffer}_load{load}_seed{config.seed}"
+    )
+
+
+class TracedOmegaNetworkSimulator(OmegaNetworkSimulator):
+    """Omega-network simulator with every component instrumented.
+
+    ``session=None`` builds a fresh :class:`TraceSession` with the
+    default event-ring capacity; pass ``TraceSession(capacity=0)`` for
+    metrics-only mode.  ``export_dir`` (if set) receives the exported
+    files when :meth:`run` finishes.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        session: TraceSession | None = None,
+        export_dir: str | Path | None = None,
+    ) -> None:
+        # Assigned before super().__init__ so the _make_buffer_factory
+        # and _make_blocked hooks (called during construction) see it.
+        self.session = session if session is not None else TraceSession()
+        super().__init__(config)
+        self._export_dir = Path(export_dir) if export_dir is not None else None
+        for stage, row in enumerate(self.switches):
+            for index, switch in enumerate(row):
+                label = f"stage{stage}.switch{index}"
+                self.session.adopt_arbiter(switch.arbiter, label)
+                for port, buffer in enumerate(switch.buffers):
+                    self.session.set_label(buffer, f"{label}.in{port}")
+        metrics = self.session.metrics
+        self._c_delivered_total = metrics.counter("packets_delivered_total")
+        self._c_delivered_measured = metrics.counter(
+            "packets_delivered_measured"
+        )
+        self._c_lost_total = metrics.counter("packets_lost_total")
+        self._c_lost_measured = metrics.counter("packets_lost_measured")
+        self._c_discarded_total = metrics.counter("packets_discarded_total")
+        self._c_discarded_measured = metrics.counter(
+            "packets_discarded_measured"
+        )
+        self._c_links = [
+            metrics.counter("link_transfers_total", stage=stage)
+            for stage in range(self.topology.num_stages)
+        ]
+
+    # -- construction hooks ------------------------------------------------
+
+    def _make_buffer_factory(
+        self, config: NetworkConfig
+    ) -> Callable[[int], SwitchBuffer]:
+        return self.session.wrap_factory(super()._make_buffer_factory(config))
+
+    def _make_blocked(self, stage: int, index: int) -> BlockedPredicate:
+        base = super()._make_blocked(stage, index)
+        session = self.session
+        label = f"stage{stage}.switch{index}"
+        counter = session.metrics.counter(
+            "flow_control_blocks_total", switch=label
+        )
+        # Last-observed blocked state per (input, output) pair: events
+        # mark *transitions*, not every probe, so an output blocked for
+        # 50 cycles shows as one block/unblock pair in the waveform.
+        state: dict[tuple[int, int], bool] = {}
+
+        def traced_blocked(
+            input_port: int, output_port: int, packet: Packet
+        ) -> bool:
+            result = base(input_port, output_port, packet)
+            key = (input_port, output_port)
+            if result != state.get(key, False):
+                state[key] = result
+                if result:
+                    counter.value += 1
+                session.emit(
+                    "block" if result else "unblock",
+                    f"{label}.in{input_port}",
+                    output_port,
+                    int(result),
+                )
+            return result
+
+        return traced_blocked
+
+    # -- per-cycle observation ---------------------------------------------
+
+    def step(self) -> None:
+        self.session.begin_cycle(self.cycle)
+        super().step()
+
+    def _forward(
+        self, stage: int, index: int, output_port: int, packet: Packet
+    ) -> None:
+        slots_before = self._stage_slots[stage + 1]
+        lost_before = self.meters.lost
+        discards_before = self._c_discarded_total.value
+        super()._forward(stage, index, output_port, packet)
+        label = f"stage{stage}.switch{index}"
+        if self._stage_slots[stage + 1] != slots_before:
+            self._c_links[stage].value += 1
+            self.session.emit(
+                "link", label, output_port, packet.size, packet.packet_id
+            )
+        elif self.meters.lost != lost_before:
+            self._c_lost_total.value += 1
+            self._c_lost_measured.value += 1
+            self.session.emit(
+                "loss", label, output_port, packet.size, packet.packet_id
+            )
+        elif self._c_discarded_total.value != discards_before:
+            pass  # full downstream buffer: observed via _count_discard
+        elif self._loss_rng is not None:
+            # Destroyed on the link outside the measurement window (the
+            # only remaining way a forward leaves no trace in the plain
+            # counters — discards re-raise through _count_discard).
+            self._c_lost_total.value += 1
+            self.session.emit(
+                "loss", label, output_port, packet.size, packet.packet_id
+            )
+
+    def _deliver(self, index: int, output_port: int, packet: Packet) -> None:
+        sink = self._exit_sinks[index][output_port]
+        received_before = sink.received
+        delivered_before = self.meters.delivered
+        lost_before = self.meters.lost
+        super()._deliver(index, output_port, packet)
+        stage = self._last_stage
+        if sink.received != received_before:
+            self._c_links[stage].value += 1
+            self._c_delivered_total.value += 1
+            if self.meters.delivered != delivered_before:
+                self._c_delivered_measured.value += 1
+            self.session.emit(
+                "deliver", "network", sink.port, packet.size, packet.packet_id
+            )
+        else:
+            # Destroyed on the exit link by fault injection.
+            self._c_lost_total.value += 1
+            if self.meters.lost != lost_before:
+                self._c_lost_measured.value += 1
+            self.session.emit(
+                "loss",
+                f"stage{stage}.switch{index}",
+                output_port,
+                packet.size,
+                packet.packet_id,
+            )
+
+    def _count_discard(self, packet: Packet) -> None:
+        discarded_before = self.meters.discarded
+        super()._count_discard(packet)
+        self._c_discarded_total.value += 1
+        if self.meters.discarded != discarded_before:
+            self._c_discarded_measured.value += 1
+        self.session.emit("drop", "network", -1, packet.size, packet.packet_id)
+
+    # -- checkpoint composition --------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Inherited snapshot plus the metrics registry's exact state.
+
+        The extra key is ignored by a plain simulator's ``restore`` (it
+        reads only the keys it knows), so traced and plain checkpoints
+        stay mutually compatible.
+        """
+        state = super().snapshot()
+        state["telemetry"] = self.session.metrics.snapshot_state()
+        return state
+
+    def restore(self, state: dict[str, Any]) -> None:
+        super().restore(state)
+        saved = state.get("telemetry")
+        if saved is not None:
+            self.session.metrics.restore_state(saved)
+
+    # -- runs and export ---------------------------------------------------
+
+    def run(
+        self,
+        warmup_cycles: int = 2000,
+        measure_cycles: int = 10000,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | Path | None = None,
+    ) -> SimulationResult:
+        result = super().run(
+            warmup_cycles,
+            measure_cycles,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        if self._export_dir is not None:
+            self.export(self._export_dir)
+        return result
+
+    def export(self, directory: str | Path) -> list[Path]:
+        """Write the VCD, Chrome trace and metrics files for this run.
+
+        File names derive deterministically from the config
+        (:func:`config_tag`); re-exporting the same run overwrites the
+        same files.  In metrics-only mode (ring capacity 0) only the
+        metrics document is written.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        tag = config_tag(self.config)
+        written: list[Path] = []
+        events = self.session.ring.events()
+        if self.session.ring.capacity > 0:
+            written.append(
+                write_vcd(
+                    events,
+                    target / f"{tag}.vcd",
+                    cycle_clocks=self.config.cycle_clocks,
+                )
+            )
+            written.append(
+                write_chrome_trace(
+                    events,
+                    target / f"{tag}.trace.json",
+                    cycle_clocks=self.config.cycle_clocks,
+                )
+            )
+        document = {
+            "format": METRICS_VERSION,
+            "tag": tag,
+            "config": self.config.to_state(),
+            "cycles": self.cycle,
+            "events_emitted": self.session.ring.emitted,
+            "events_dropped": self.session.ring.dropped,
+            "metrics": self.session.metrics.snapshot_state(),
+        }
+        metrics_path = target / f"{tag}.metrics.json"
+        scratch = metrics_path.with_name(
+            f"{metrics_path.name}.tmp{os.getpid()}"
+        )
+        scratch.write_text(json.dumps(document))
+        os.replace(scratch, metrics_path)
+        written.append(metrics_path)
+        return written

@@ -150,6 +150,109 @@ def test_snapshot_restore_round_trip_matches_pins_exactly(name):
 
 
 @pytest.mark.parametrize("name", sorted(PINNED))
+def test_trace_off_by_default_builds_the_plain_class(name, monkeypatch):
+    """With no telemetry env set, make_simulator must stay zero-overhead.
+
+    Not ``isinstance`` — the *exact* plain class, proving no adopted
+    subclass and no instrumentation object sits anywhere near the hot
+    path when tracing is off (the disabled default that keeps the seed
+    1988 pins byte-identical by construction).
+    """
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_METRICS", raising=False)
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    assert type(simulator) is OmegaNetworkSimulator
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_traced_run_matches_pins_exactly(name, monkeypatch):
+    """REPRO_TRACE=1 must not perturb a single bit of the results.
+
+    Tracing observes the datapath's own side effects (it draws nothing
+    from any RNG), so the exact Welford state of every meter must match
+    the plain-run pins — and the per-buffer enqueue/dequeue counters
+    must reconcile with what the network actually moved.
+    """
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.delenv("REPRO_METRICS", raising=False)
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    simulator.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(simulator.meters) == pin["expected"]
+    metrics = simulator.session.metrics
+    assert metrics.value("packets_delivered_measured") == simulator.meters.delivered
+    assert metrics.value("packets_delivered_total") == sum(
+        sink.received for row in simulator._exit_sinks for sink in row
+    )
+    assert metrics.value("packets_discarded_measured") == simulator.meters.discarded
+    assert metrics.value("packets_discarded_total") >= simulator.meters.discarded
+    enqueued = metrics.value("buffer_enqueues_total")
+    dequeued = metrics.value("buffer_dequeues_total")
+    assert enqueued - dequeued == simulator.total_buffered_packets
+    assert metrics.value("arbiter_grants_total") == dequeued
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_metrics_only_run_matches_pins_exactly(name, monkeypatch):
+    """REPRO_METRICS=1 (counters, no event ring) must also hit the pins."""
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    assert simulator.session.ring.capacity == 0
+    simulator.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(simulator.meters) == pin["expected"]
+    assert len(simulator.session.ring) == 0  # nothing retained...
+    assert simulator.session.metrics.value("buffer_enqueues_total") > 0
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_traced_snapshot_restore_matches_pins_exactly(name, monkeypatch):
+    """Snapshot under tracing, restore traced, hit the pins.
+
+    The traced snapshot carries an extra "telemetry" key with the exact
+    metrics state; restoring it must leave the continued run — and the
+    restored counters themselves — bit-identical to an uninterrupted
+    traced run.
+    """
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    for _ in range(137):
+        simulator.step()
+    state = json.loads(json.dumps(simulator.snapshot()))
+    resumed = make_simulator(NetworkConfig(**pin["config"]))
+    resumed.restore(state)
+    resumed.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(resumed.meters) == pin["expected"]
+    uninterrupted = make_simulator(NetworkConfig(**pin["config"]))
+    uninterrupted.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert (
+        resumed.session.metrics.snapshot_state()
+        == uninterrupted.session.metrics.snapshot_state()
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_traced_snapshot_restores_into_plain_simulator(name, monkeypatch):
+    """A traced checkpoint must remain readable by a plain simulator."""
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    pin = PINNED[name]
+    simulator = make_simulator(NetworkConfig(**pin["config"]))
+    for _ in range(137):
+        simulator.step()
+    state = json.loads(json.dumps(simulator.snapshot()))
+    monkeypatch.delenv("REPRO_TRACE")
+    resumed = make_simulator(NetworkConfig(**pin["config"]))
+    assert type(resumed) is OmegaNetworkSimulator
+    resumed.restore(state)
+    resumed.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(resumed.meters) == pin["expected"]
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
 def test_sanitized_snapshot_restore_matches_pins_exactly(name, monkeypatch):
     """Snapshot under REPRO_SANITIZE=1, restore sanitized, hit the pins.
 

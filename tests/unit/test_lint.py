@@ -252,6 +252,63 @@ class TestRep006MutableDefault:
         ) == []
 
 
+class TestRep007WallClockOutsideAllowlist:
+    WALL_CLOCK = """
+        import time
+        def f():
+            return time.perf_counter()
+        """
+
+    def test_flags_library_module_outside_allowlist(self):
+        assert codes(
+            self.WALL_CLOCK,
+            module="repro.cache.store",
+            path="src/repro/cache/store.py",
+        ) == ["REP007"]
+
+    def test_flags_datetime_now(self):
+        assert codes(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """,
+            module="repro.experiments.export",
+            path="src/repro/experiments/export.py",
+        ) == ["REP007"]
+
+    def test_perf_harness_allowed(self):
+        assert codes(
+            self.WALL_CLOCK,
+            module="repro.perf.harness",
+            path="src/repro/perf/harness.py",
+        ) == []
+
+    def test_telemetry_allowed(self):
+        assert codes(
+            self.WALL_CLOCK,
+            module="repro.telemetry.session",
+            path="src/repro/telemetry/session.py",
+        ) == []
+
+    def test_simulation_path_is_rep002_not_rep007(self):
+        assert codes(self.WALL_CLOCK) == ["REP002"]
+
+    def test_tests_out_of_scope(self):
+        assert codes(
+            self.WALL_CLOCK, module="tests.unit.example", path="tests/unit/example.py"
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert codes(
+            """
+            import time
+            started = time.perf_counter()  # repro: noqa=REP007 CLI timing
+            """,
+            module="repro.experiments.__main__",
+            path="src/repro/experiments/__main__.py",
+        ) == []
+
+
 class TestNoqaMechanics:
     def test_wrong_code_does_not_suppress(self):
         assert codes("assert x  # repro: noqa=REP004 wrong code\n") == ["REP005"]
@@ -271,6 +328,7 @@ class TestInfrastructure:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         }
         for code, rule in RULES.items():
             assert rule.code == code
