@@ -189,8 +189,10 @@ class Rep007WallClockOutsideAllowlist(LintRule):
     reads a wall clock undermines reproducibility: results and artifacts
     start depending on when and on what machine a run happened.  Only
     ``repro.perf`` (the measurement harness — its entire purpose is
-    timing) and ``repro.telemetry`` (exports may stamp real durations)
-    may call ``time.time``/``perf_counter``/``datetime.now`` and friends.
+    timing), ``repro.telemetry`` (exports may stamp real durations) and
+    ``repro.service`` (process supervision: heartbeats, deadlines and
+    retry delays are inherently wall-clock) may call
+    ``time.time``/``perf_counter``/``datetime.now`` and friends.
     CLI progress timing in ``__main__`` modules is legitimate — suppress
     with ``# repro: noqa=REP007`` and a justification.  Tests and the
     simulation packages themselves are out of scope (the latter are
@@ -253,9 +255,11 @@ _WALL_CLOCK_CALLS = frozenset(
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "deque", "defaultdict"})
 
 #: Packages whose modules may read wall clocks (REP007): the measurement
-#: harness exists to time things, and telemetry exports may stamp real
-#: durations.  Everything else must justify each read with a noqa.
-WALL_CLOCK_ALLOWLIST = ("repro.perf", "repro.telemetry")
+#: harness exists to time things, telemetry exports may stamp real
+#: durations, and the simulation service supervises real processes
+#: (heartbeats, deadlines, retry delays are wall-clock by nature).
+#: Everything else must justify each read with a noqa.
+WALL_CLOCK_ALLOWLIST = ("repro.perf", "repro.telemetry", "repro.service")
 
 
 @dataclass(frozen=True)

@@ -5,17 +5,25 @@ on; the parallel mapper decides *what* each unit of work looks like.
 They meet here: :func:`~repro.experiments.runner.run_experiment` wraps
 each experiment in :func:`activate`, and
 :func:`~repro.perf.parallel.parallel_map` consults :func:`active` to
-short-circuit hits and store misses.  Keeping the context in a module
-global (rather than threading a parameter through every experiment
-module) means the individual experiments stay cache-oblivious — the
-figure/table code is identical with and without a cache.
+short-circuit hits and store misses.  Keeping the context ambient
+(rather than threading a parameter through every experiment module)
+means the individual experiments stay cache-oblivious — the figure/table
+code is identical with and without a cache.
+
+The context lives in a :class:`contextvars.ContextVar` rather than a
+bare module global so that concurrent activations in different threads
+— the simulation service runs experiments on worker threads while its
+event loop keeps serving — see only their own context.  For the
+single-threaded CLI paths the behaviour is unchanged.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
+from typing import Any
 
 from repro.cache.store import ResultCache
 
@@ -36,6 +44,13 @@ class CacheContext:
         (``None`` disables checkpointing).
     checkpoint_dir:
         Directory for per-task checkpoint files.
+    dispatcher:
+        Optional work executor ``(fn, items) -> results`` that replaces
+        the mapper's own process pool.  The simulation service installs
+        its supervised worker pool here so that every grid point an
+        experiment fans out is sharded across supervised workers —
+        with heartbeats, deadlines and bounded retries — instead of an
+        anonymous ``ProcessPoolExecutor``.
     """
 
     def __init__(
@@ -44,6 +59,8 @@ class CacheContext:
         experiment: str,
         checkpoint_every: int | None = None,
         checkpoint_dir: str | Path | None = None,
+        dispatcher: Callable[[Callable[[Any], Any], list[Any]], list[Any]]
+        | None = None,
     ) -> None:
         self.cache = cache
         self.experiment = experiment
@@ -51,6 +68,7 @@ class CacheContext:
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        self.dispatcher = dispatcher
 
     @property
     def checkpointing(self) -> bool:
@@ -58,12 +76,14 @@ class CacheContext:
         return self.checkpoint_every is not None and self.checkpoint_dir is not None
 
 
-_ACTIVE: CacheContext | None = None
+_ACTIVE: ContextVar[CacheContext | None] = ContextVar(
+    "repro_cache_context", default=None
+)
 
 
 def active() -> CacheContext | None:
     """The currently installed context (``None`` outside activation)."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
@@ -74,12 +94,10 @@ def activate(context: CacheContext) -> Iterator[CacheContext]:
     experiment, not per lookup.  Activations do not nest; the previous
     context is restored on exit so a nested runner is still safe.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = context
+    token = _ACTIVE.set(context)
     try:
         yield context
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)
         if context.cache is not None:
             context.cache.flush()

@@ -65,6 +65,29 @@ class SanitizerError(SimulationError):
     going, so one corruption yields a complete report."""
 
 
+class WorkerFailedError(SimulationError):
+    """Raised when a unit of work exhausted its worker-restart budget.
+
+    Carries enough structure for a caller (or a service response) to say
+    exactly what gave up: which task, after how many attempts, and the
+    last on-disk checkpoint a further manual retry could resume from
+    (``None`` when the task was not checkpointed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_id: object = None,
+        attempts: int = 0,
+        checkpoint: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+        self.attempts = attempts
+        self.checkpoint = checkpoint
+
+
 class FaultError(SimulationError):
     """Raised when the fault-injection machinery itself is misconfigured or
     graceful degradation cannot proceed (e.g. retiring the last usable

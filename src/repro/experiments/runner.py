@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from pathlib import Path
+from typing import Any
 
 from repro.cache.runtime import CacheContext, activate
 from repro.cache.store import ResultCache
@@ -58,6 +59,8 @@ def run_experiment(
     cache: ResultCache | None = None,
     checkpoint_every: int | None = None,
     checkpoint_dir: str | Path | None = None,
+    dispatcher: Callable[[Callable[[Any], Any], list[Any]], list[Any]]
+    | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id ("table2", "figure3", ...).
 
@@ -72,6 +75,11 @@ def run_experiment(
     periodic checkpoints so a dead worker's replacement resumes
     mid-run instead of restarting.  Neither option changes the results
     in any bit.
+
+    ``dispatcher`` replaces the mapper's own process pool with an
+    external executor ``(fn, items) -> results`` — the simulation
+    service passes its supervised worker pool here so every grid point
+    runs under heartbeat monitoring and bounded, backed-off retries.
     """
     experiment_id = experiment_id.lower()
     try:
@@ -86,6 +94,7 @@ def run_experiment(
         experiment_id,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
+        dispatcher=dispatcher,
     )
     with activate(context):
         return runner(quick=quick, seed=seed, jobs=jobs)

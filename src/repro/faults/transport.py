@@ -29,6 +29,7 @@ from typing import Callable
 
 from repro.chip.network import ChipNetwork, Circuit
 from repro.errors import ConfigurationError, ProtocolError
+from repro.utils.backoff import BackoffPolicy
 
 __all__ = [
     "FRAME_MAGIC",
@@ -160,6 +161,14 @@ class ReliableChannel:
         self.base_timeout = base_timeout
         self.backoff_cap = backoff_cap
         self.max_attempts = max_attempts
+        # Jitter stays 0: retransmission timers are simulated-cycle
+        # counts and must be byte-identical run to run.
+        self._backoff = BackoffPolicy(
+            base=base_timeout,
+            factor=2.0,
+            cap_multiple=backoff_cap,
+            max_attempts=max_attempts,
+        )
         self._next_seq = 0
         self._pending: dict[int, _Pending] = {}
         self.retransmissions = 0
@@ -172,7 +181,10 @@ class ReliableChannel:
         return len(self._pending)
 
     def _timeout(self, attempts: int) -> int:
-        return self.base_timeout * min(2 ** (attempts - 1), self.backoff_cap)
+        # base and cap are integers and the exponential term is a power
+        # of two, so the float product is exact and int() loses nothing:
+        # the schedule is bit-identical to the pre-BackoffPolicy one.
+        return int(self._backoff.delay(attempts))
 
     def send(self, payload: bytes, cycle: int) -> int:
         """Transmit a DATA frame and arm its retransmission timer."""
@@ -204,7 +216,7 @@ class ReliableChannel:
         for pending in list(self._pending.values()):
             if cycle < pending.next_retry_cycle:
                 continue
-            if pending.attempts >= self.max_attempts:
+            if self._backoff.exhausted(pending.attempts):
                 del self._pending[pending.seq]
                 self.failed.append(pending.seq)
                 continue

@@ -20,17 +20,27 @@ which keeps single-job behaviour free of multiprocessing overhead and
 makes the serial/parallel equivalence trivial to test.
 
 A worker that dies (segfault, OOM kill, ``os._exit``) surfaces as a
-:class:`~repro.errors.SimulationError` rather than a hang or a raw
+:class:`~repro.errors.WorkerFailedError` rather than a hang or a raw
 ``BrokenProcessPool`` — unless the active context has checkpointing
 configured, in which case the still-pending tasks are retried in a fresh
-pool and each replacement worker resumes its simulation from the dead
-worker's last on-disk checkpoint instead of starting over.
+pool (after a deterministic-jitter backoff, budget bounded by
+:data:`RESTART_POLICY`) and each replacement worker resumes its
+simulation from the dead worker's last on-disk checkpoint instead of
+starting over.  When the budget runs out the error names the task, its
+attempt count and the checkpoint a manual retry could resume from.
+
+A service-grade alternative exists for the pool itself: when the active
+:class:`~repro.cache.runtime.CacheContext` carries a ``dispatcher``, all
+execution is delegated to it — :mod:`repro.service` installs its
+supervised worker pool this way, so the same experiment code runs under
+heartbeat monitoring and per-task deadlines without changing here.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -39,13 +49,15 @@ from typing import TYPE_CHECKING, Any
 
 from repro.cache import runtime
 from repro.cache.keys import cache_key, canonical_json
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, WorkerFailedError
+from repro.utils.backoff import BackoffPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.network.metrics import SimulationResult
     from repro.network.simulator import NetworkConfig
 
 __all__ = [
+    "RESTART_POLICY",
     "parallel_map",
     "parallel_simulate",
     "resolve_jobs",
@@ -59,9 +71,15 @@ __all__ = [
 #: are not counted.
 _cycles_simulated = 0
 
-#: Fresh pools started after a worker death before giving up (only when
-#: the active context has checkpointing configured).
-_POOL_RETRIES = 2
+#: Restart budget and delays for pool recovery after a worker death.
+#: Shared shape with :mod:`repro.service` (which uses its own seconds-
+#: tuned instance): exponential with deterministic jitter so several
+#: resuming pools do not stampede the disk in lockstep.  ``max_attempts``
+#: counts attempts per task: the first run plus two pool restarts —
+#: matching the historical ``_POOL_RETRIES = 2``.
+RESTART_POLICY = BackoffPolicy(
+    base=0.05, factor=2.0, cap_multiple=8.0, max_attempts=3, jitter=0.5
+)
 
 
 def simulated_cycles() -> int:
@@ -84,26 +102,42 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _task_checkpoint(item: Any) -> str | None:
+    """The checkpoint path a task item carries, when it carries one.
+
+    :func:`parallel_simulate` encodes checkpointed work as a 5-tuple
+    ending in the checkpoint path; anything else is uncheckpointed.
+    """
+    if isinstance(item, tuple) and len(item) == 5 and isinstance(item[4], str):
+        return item[4]
+    return None
+
+
 def _dispatch(
     fn: Callable[[Any], Any],
     items: list[Any],
     jobs: int,
-    retries: int,
+    resumable: bool,
 ) -> list[Any]:
     """Execute every item, in input order, with bounded pool restarts.
 
-    ``retries`` fresh pools may be started after a worker death;
-    completed results are kept and only the still-pending items are
-    resubmitted (their workers resume from on-disk checkpoints when the
-    tasks carry them).  With ``retries=0`` a dead worker raises
-    :class:`SimulationError` immediately, preserving the uncached
-    fail-fast behaviour.
+    When ``resumable`` (the active context has checkpointing configured),
+    a worker death starts a fresh pool after a :data:`RESTART_POLICY`
+    backoff; completed results are kept and only the still-pending items
+    are resubmitted (their workers resume from on-disk checkpoints when
+    the tasks carry them).  A task that exhausts the policy's attempt
+    budget — or any death when ``resumable`` is false, preserving the
+    uncached fail-fast behaviour — raises :class:`WorkerFailedError`
+    naming the task, its attempt count and its last checkpoint.
     """
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     results: list[Any] = [None] * len(items)
     pending = list(range(len(items)))
+    attempts = dict.fromkeys(pending, 0)
     while True:
+        for index in pending:
+            attempts[index] += 1
         try:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 futures = {pool.submit(fn, items[i]): i for i in pending}
@@ -113,13 +147,25 @@ def _dispatch(
                     pending.remove(index)
             return results
         except BrokenProcessPool as exc:
-            if retries <= 0:
-                raise SimulationError(
-                    "a simulation worker process died before returning its "
-                    "result (crashed or killed); rerun with jobs=1 to debug "
-                    "in-process"
+            # Every still-pending task was (or may have been) in flight
+            # on the dead pool; all of them burn one attempt.
+            budget = RESTART_POLICY.max_attempts if resumable else 1
+            worst = max(pending, key=lambda i: attempts[i])
+            if attempts[worst] >= budget:
+                checkpoint = _task_checkpoint(items[worst])
+                detail = (
+                    f"resumable from checkpoint {checkpoint}"
+                    if checkpoint is not None
+                    else "rerun with jobs=1 to debug in-process"
+                )
+                raise WorkerFailedError(
+                    f"simulation task {worst} lost its worker process "
+                    f"{attempts[worst]} time(s) (crashed or killed); {detail}",
+                    task_id=worst,
+                    attempts=attempts[worst],
+                    checkpoint=checkpoint,
                 ) from exc
-            retries -= 1
+            time.sleep(RESTART_POLICY.delay(attempts[worst], key="pool"))
 
 
 def parallel_map(
@@ -136,8 +182,10 @@ def parallel_map(
     ``fn`` and every item must be picklable (``fn`` defined at module top
     level).  Results come back in input order.  Exceptions raised *inside*
     a worker propagate unchanged; a worker process that dies outright is
-    reported as :class:`SimulationError` (or retried, when the active
-    cache context has checkpointing configured).
+    reported as :class:`WorkerFailedError` (or retried with backoff, when
+    the active cache context has checkpointing configured).  A context
+    carrying a ``dispatcher`` delegates all execution — pooling, retries
+    and supervision included — to it.
 
     ``codec`` opts the call into the result cache: when a
     :mod:`repro.cache` context is active, each unit of work is keyed by
@@ -150,14 +198,19 @@ def parallel_map(
     items = list(items)
     jobs = resolve_jobs(jobs)
     context = runtime.active()
-    retries = (
-        _POOL_RETRIES if context is not None and context.checkpointing else 0
-    )
+    resumable = context is not None and context.checkpointing
+    dispatcher = context.dispatcher if context is not None else None
+
+    def execute(work: list[Any]) -> list[Any]:
+        if dispatcher is not None:
+            return dispatcher(fn, work)
+        return _dispatch(fn, work, jobs, resumable)
+
     cache = context.cache if context is not None and codec is not None else None
     if cache is None or context is None:
         if on_executed is not None:
             on_executed(len(items))
-        return _dispatch(fn, items, jobs, retries)
+        return execute(items)
     described = list(payloads) if payloads is not None else items
     if len(described) != len(items):
         raise ConfigurationError(
@@ -176,7 +229,7 @@ def parallel_map(
     if on_executed is not None:
         on_executed(len(missed))
     if missed:
-        fresh = _dispatch(fn, [items[i] for i in missed], jobs, retries)
+        fresh = execute([items[i] for i in missed])
         for index, result in zip(missed, fresh):
             cache.put(keys[index], context.experiment, codec, result)
             results[index] = result

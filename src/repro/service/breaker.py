@@ -1,0 +1,117 @@
+"""Circuit breaker guarding the simulation path of the service.
+
+A classic three-state breaker (CLOSED → OPEN → HALF_OPEN) over the job
+runner.  While jobs complete, the breaker stays CLOSED and every request
+may simulate.  After ``failure_threshold`` *consecutive* job failures it
+OPENs: the service stops admitting fresh simulations and answers from
+the degradation ladder instead (see :mod:`repro.service.jobs`).  After
+``cooldown`` seconds one probe job is allowed through (HALF_OPEN); its
+success closes the breaker, its failure re-opens it for another
+cooldown.
+
+The clock is injectable so tests (and the deterministic replay of an
+incident) never sleep through a cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure breaker with a half-open probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ConfigurationError("cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown expiry accounted for."""
+        with self._lock:
+            return self._observe()
+
+    def _observe(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether one more simulation may start right now.
+
+        In HALF_OPEN exactly one caller gets ``True`` (the probe); the
+        rest are refused until the probe reports back.
+        """
+        with self._lock:
+            state = self._observe()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A job completed: close the breaker and reset the streak."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A job failed: extend the streak, trip OPEN past the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = self._consecutive_failures >= self.failure_threshold
+            if self._state == self.HALF_OPEN or tripped:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the next probe is allowed (0 when not OPEN)."""
+        with self._lock:
+            if self._observe() != self.OPEN:
+                return 0.0
+            remaining = self.cooldown - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def snapshot(self) -> dict[str, Any]:
+        """State document for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "state": self._observe(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown,
+            }

@@ -1,0 +1,207 @@
+"""Job specs, job records and the graceful-degradation ladder.
+
+A *job* is one experiment request — the unit a client submits, the
+service deduplicates, and a worker pool executes.  The spec is
+content-addressed with the same :func:`repro.cache.keys.cache_key`
+machinery the simulation cache uses, which buys the service its core
+scaling property for free: a million users asking for ``figure3`` hash
+to one key, so they cost one simulation (and the key folds in the source
+fingerprint, so a code change can never serve stale results as fresh).
+
+When the service cannot simulate — workers saturated or crashing, the
+circuit breaker open — it walks the **degradation ladder** instead of
+failing or hanging:
+
+``fresh``
+    A simulation actually ran for this request.
+``cached``
+    An exact-key hit: bit-identical to what a fresh run would produce
+    under the current source tree.
+``stale``
+    A previously computed result for the same *spec* whose key no longer
+    matches (typically: produced by an older source tree).  Clearly
+    better than nothing, clearly marked.
+``analytic``
+    A milliseconds-fast :mod:`repro.markov` prediction — exact
+    steady-state analysis of the 2×2 discarding switch plus the
+    head-of-line saturation law — when no simulated result exists at
+    all.
+
+Every non-``fresh``/-``cached`` payload carries ``degraded: true`` so a
+client can always tell what it got.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cache.keys import cache_key, canonical_json
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEGRADATION_LADDER",
+    "JOB_CODEC",
+    "JobRecord",
+    "JobSpec",
+    "analytic_prediction",
+]
+
+#: Cache codec under which completed job payloads are stored (plain JSON).
+JOB_CODEC = "json"
+
+#: The service's answer-quality ladder, best first.
+DEGRADATION_LADDER = ("fresh", "cached", "stale", "analytic")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment request: which experiment, at what fidelity, what seed."""
+
+    experiment: str
+    quick: bool = True
+    seed: int = 1988
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Validate a client JSON payload into a spec.
+
+        Raises :class:`ConfigurationError` on anything malformed — the
+        server maps that to a 400, never a 500.
+        """
+        from repro.experiments.runner import EXPERIMENTS
+
+        if not isinstance(payload, dict):
+            raise ConfigurationError("job payload must be a JSON object")
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str):
+            raise ConfigurationError("job payload needs an 'experiment' name")
+        experiment = experiment.lower()
+        if experiment not in EXPERIMENTS:
+            raise ConfigurationError(
+                f"unknown experiment {experiment!r}; "
+                f"choose from {sorted(EXPERIMENTS)}"
+            )
+        quick = payload.get("quick", True)
+        if not isinstance(quick, bool):
+            raise ConfigurationError("'quick' must be a boolean")
+        seed = payload.get("seed", 1988)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ConfigurationError("'seed' must be an integer")
+        unknown = set(payload) - {"experiment", "quick", "seed", "wait"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown job fields: {sorted(unknown)}"
+            )
+        return cls(experiment=experiment, quick=quick, seed=seed)
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical JSON-able description of this spec."""
+        return {
+            "experiment": self.experiment,
+            "quick": self.quick,
+            "seed": self.seed,
+        }
+
+    def key(self) -> str:
+        """Content address of the *result* this spec denotes.
+
+        Folds in the source fingerprint (via :func:`cache_key`), so the
+        key changes whenever the simulator changes — an exact-key hit is
+        always bit-identical to a fresh run.
+        """
+        return cache_key("service", JOB_CODEC, self.payload())
+
+    def stale_key(self) -> str:
+        """Spec identity *without* the source fingerprint.
+
+        Used by the stale rung of the degradation ladder: "the last
+        result anyone computed for this request, under any source tree".
+        """
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode()
+        ).hexdigest()
+
+
+_JOB_IDS = itertools.count(1)
+
+
+@dataclass
+class JobRecord:
+    """Server-side state of one admitted job (shared by coalesced clients)."""
+
+    spec: JobSpec
+    key: str
+    id: str = field(default_factory=lambda: f"job-{next(_JOB_IDS)}")
+    status: str = "queued"  # queued | running | done | failed
+    #: How the result was produced: fresh | cached | stale | analytic.
+    source: str = "fresh"
+    #: Number of requests answered by this record (1 + coalesced ones).
+    requests: int = 1
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+    #: Simulation tasks actually dispatched to the pool (0 on cache hits).
+    tasks_executed: int = 0
+    job_seconds: float = 0.0
+    #: Set once the job reaches a terminal state (done/failed).
+    finished: threading.Event = field(default_factory=threading.Event)
+
+    def describe(self) -> dict[str, Any]:
+        """The JSON document clients see for this job."""
+        document: dict[str, Any] = {
+            "id": self.id,
+            "spec": self.spec.payload(),
+            "status": self.status,
+            "requests": self.requests,
+        }
+        if self.status in ("done", "failed"):
+            document["source"] = self.source
+            document["tasks_executed"] = self.tasks_executed
+            document["job_seconds"] = self.job_seconds
+        if self.result is not None:
+            document["result"] = self.result
+        if self.error is not None:
+            document["error"] = self.error
+        return document
+
+
+def analytic_prediction(spec: JobSpec) -> dict[str, Any]:
+    """Millisecond-fast :mod:`repro.markov` stand-in for a simulated result.
+
+    The bottom rung of the degradation ladder: exact 2×2 discarding-
+    switch steady states for the paper's four buffer architectures at a
+    representative operating point, plus the head-of-line saturation
+    law for the radices the experiments sweep.  Not a substitute for the
+    requested experiment — a principled estimate served in place of a
+    refusal, and tagged as such.
+    """
+    from repro.markov.analysis import analyze_switch
+    from repro.markov.theory import HOL_ASYMPTOTE, hol_saturation_throughput
+
+    kinds = ("FIFO", "DAMQ", "SAMQ", "SAFC")
+    point = {"slots": 4, "traffic_rate": 0.5, "num_ports": 2}
+    steady = {}
+    for kind in kinds:
+        state = analyze_switch(kind, 4, 0.5, 2)
+        steady[kind] = {
+            "discard_probability": state.discard_probability,
+            "throughput": state.throughput,
+        }
+    return {
+        "model": "markov",
+        "experiment": spec.experiment,
+        "operating_point": point,
+        "steady_state_2x2": steady,
+        "hol_saturation_throughput": {
+            str(n): hol_saturation_throughput(n) for n in (2, 4, 8)
+        },
+        "hol_asymptote": HOL_ASYMPTOTE,
+        "note": (
+            "analytic Markov-model prediction served because simulation "
+            "capacity was unavailable; not the requested experiment's "
+            "simulated tables"
+        ),
+    }

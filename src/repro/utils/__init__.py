@@ -1,11 +1,13 @@
-"""Shared utilities: seeded RNG streams, ASCII tables, events, statistics."""
+"""Shared utilities: seeded RNG streams, backoff, tables, events, stats."""
 
+from repro.utils.backoff import BackoffPolicy
 from repro.utils.events import Event, EventQueue
 from repro.utils.rng import RandomStream, spawn_streams
 from repro.utils.stats import OnlineStats, RateMeter
 from repro.utils.tables import TextTable
 
 __all__ = [
+    "BackoffPolicy",
     "Event",
     "EventQueue",
     "OnlineStats",

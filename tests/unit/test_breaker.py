@@ -1,0 +1,97 @@
+"""Tests for the service circuit breaker (repro.service.breaker)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.breaker import CircuitBreaker
+
+
+class FakeClock:
+    """Injectable monotonic clock so cooldowns never sleep in tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock: FakeClock) -> CircuitBreaker:
+    return CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=clock)
+
+
+class TestValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_rejects_nonpositive_cooldown(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown=0.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert breaker.retry_after == 0.0  # repro: noqa=REP004 exact sentinel
+
+    def test_opens_after_consecutive_failures(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after == pytest.approx(10.0)
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_allows_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else waits for it
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after == pytest.approx(10.0)
+        clock.advance(5.0)
+        assert breaker.retry_after == pytest.approx(5.0)
+        assert not breaker.allow()
+
+    def test_snapshot_document(self, breaker):
+        breaker.record_failure()
+        document = breaker.snapshot()
+        assert document["state"] == CircuitBreaker.CLOSED
+        assert document["consecutive_failures"] == 1
+        assert document["failure_threshold"] == 3

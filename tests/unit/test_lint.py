@@ -290,6 +290,15 @@ class TestRep007WallClockOutsideAllowlist:
             path="src/repro/telemetry/session.py",
         ) == []
 
+    def test_service_allowed(self):
+        # Process supervision is wall-clock by nature: heartbeats,
+        # deadlines and retry delays all read real time.
+        assert codes(
+            self.WALL_CLOCK,
+            module="repro.service.supervisor",
+            path="src/repro/service/supervisor.py",
+        ) == []
+
     def test_simulation_path_is_rep002_not_rep007(self):
         assert codes(self.WALL_CLOCK) == ["REP002"]
 
