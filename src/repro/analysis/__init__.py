@@ -1,4 +1,4 @@
-"""Static analysis and runtime sanitizing for the repro codebase.
+"""Static analysis, runtime sanitizing and model checking for repro.
 
 The paper's results rest on two contracts nothing in the language enforces:
 
@@ -13,10 +13,10 @@ The paper's results rest on two contracts nothing in the language enforces:
   performs more RAM accesses per cycle than the register file allows, or
   corrupts the pointer RAM, silently produces results no chip could.
 
-This package enforces both:
+This package enforces both, three ways:
 
 * :mod:`repro.analysis.lint` — an AST linter with repo-specific rules
-  (REP001..REP006), run as ``python -m repro.analysis lint src tests`` or
+  (REP001..REP008), run as ``python -m repro.analysis lint src tests`` or
   via the ``repro-lint`` console script.  Findings are suppressed per line
   with ``# repro: noqa=REPxxx`` comments.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime instrumentation
@@ -25,12 +25,29 @@ This package enforces both:
   the four :class:`~repro.core.buffer.SwitchBuffer` implementations to
   detect slot use-after-free, double-free, pointer cycles/leaks, and
   per-cycle port-bandwidth violations.
+* :mod:`repro.analysis.model` — an explicit-state bounded model checker
+  (``python -m repro.analysis model`` / ``repro-verify``) that
+  exhaustively explores all arrival × grant × departure interleavings of
+  each buffer architecture at small parameters against reference
+  specifications (:mod:`repro.analysis.properties`), checks the paper's
+  refinement claims, replays violations as minimal counterexample traces
+  (:mod:`repro.analysis.counterexample`) and cross-validates the explored
+  state graph against the :mod:`repro.markov` chains.
+
+The sanitizer's runtime :class:`Violation` (a recorded hardware-model
+event) predates and is distinct from the model checker's
+:class:`repro.analysis.properties.Violation` (a refuted property);
+import the latter from its module directly.
 """
 
 from __future__ import annotations
 
 from repro.analysis.lint import Finding, LintRule, RULES, lint_paths, lint_source
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import (
+    render_github,
+    render_json,
+    render_text,
+)
 from repro.analysis.sanitizer import (
     HardwareSanitizer,
     SanitizedOmegaNetworkSimulator,
@@ -49,6 +66,7 @@ __all__ = [
     "Violation",
     "lint_paths",
     "lint_source",
+    "render_github",
     "render_json",
     "render_text",
     "sanitize_enabled",

@@ -1,0 +1,166 @@
+"""Breadth-first frontier engine for the explicit-state model checker.
+
+The engine is deliberately generic: a *transition system* supplies an
+initial state and a deterministic successor enumeration; the engine owns
+the frontier queue, the visited set (keyed on the system's canonical
+state values) and the parent/action records needed to reconstruct a
+counterexample.  Breadth-first order makes the first violation found a
+*minimal* one: no shorter action sequence reaches any violating state.
+
+Systems signal violations by raising
+:class:`repro.analysis.properties.PropertyViolation` from their successor
+generator (with the in-flight action attached); the engine converts the
+exception into an :class:`ExplorationResult` carrying the full action
+trace from the initial state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, Protocol
+
+from repro.analysis.properties import PropertyViolation, Violation
+from repro.errors import InvariantError
+
+__all__ = [
+    "Action",
+    "Edge",
+    "ExplorationResult",
+    "SearchStats",
+    "TransitionSystem",
+    "explore",
+]
+
+#: One atomic action, e.g. ``("arrive", 1)`` or ``("cycle", served, combo)``.
+Action = tuple[Any, ...]
+
+#: One recorded transition: (source state id, target state id, action).
+Edge = tuple[int, int, Action]
+
+
+class TransitionSystem(Protocol):
+    """What the engine needs from a system under exploration."""
+
+    def initial(self) -> tuple[Hashable, Any]:
+        """Canonical key and opaque payload of the initial state."""
+        ...
+
+    def successors(
+        self, payload: Any
+    ) -> Iterator[tuple[Action, Hashable, Any]]:
+        """Enumerate ``(action, successor key, successor payload)``.
+
+        Must be deterministic.  Raises :class:`PropertyViolation` (with
+        the action attached) when a property fails along a transition.
+        """
+        ...
+
+
+@dataclass
+class SearchStats:
+    """Search-size accounting for reports and CI budgets."""
+
+    states: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    truncated: bool = False
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one bounded exhaustive search."""
+
+    stats: SearchStats
+    violation: Violation | None = None
+    #: Minimal action sequence from the initial state to the violation
+    #: (the failing action last); ``None`` when the search was clean.
+    trace: list[Action] | None = None
+    #: Every canonical state key, in discovery (BFS) order.
+    keys: list[Hashable] = field(default_factory=list)
+    #: Recorded transitions when requested (for the Markov bridge).
+    edges: list[Edge] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+def explore(
+    system: TransitionSystem,
+    *,
+    max_states: int | None = None,
+    max_depth: int | None = None,
+    record_edges: bool = False,
+) -> ExplorationResult:
+    """Exhaustively explore ``system`` breadth-first.
+
+    ``max_states``/``max_depth`` bound the search (the ``truncated`` flag
+    reports when a bound was hit); within the bounds the reachable state
+    space is covered completely.  With ``record_edges`` every transition
+    is retained as ``(source id, target id, action)`` so the reachable
+    graph can be converted into a Markov transition matrix.
+    """
+    stats = SearchStats()
+    initial_key, initial_payload = system.initial()
+    keys: list[Hashable] = [initial_key]
+    index: dict[Hashable, int] = {initial_key: 0}
+    payloads: dict[int, Any] = {0: initial_payload}
+    parents: list[tuple[int, Action | None]] = [(-1, None)]
+    depths: list[int] = [0]
+    edges: list[Edge] | None = [] if record_edges else None
+    frontier: deque[int] = deque([0])
+
+    def trace_to(node: int, last_action: Action | None) -> list[Action]:
+        actions: list[Action] = []
+        while node > 0:
+            parent, action = parents[node]
+            if action is None:
+                raise InvariantError(
+                    f"non-root search node {node} has no producing action"
+                )
+            actions.append(action)
+            node = parent
+        actions.reverse()
+        if last_action is not None:
+            actions.append(last_action)
+        return actions
+
+    while frontier:
+        node = frontier.popleft()
+        payload = payloads.pop(node)
+        if max_depth is not None and depths[node] >= max_depth:
+            stats.truncated = True
+            continue
+        try:
+            for action, successor_key, successor_payload in system.successors(
+                payload
+            ):
+                stats.transitions += 1
+                successor = index.get(successor_key)
+                if successor is None:
+                    if max_states is not None and len(keys) >= max_states:
+                        stats.truncated = True
+                        continue
+                    successor = len(keys)
+                    index[successor_key] = successor
+                    keys.append(successor_key)
+                    payloads[successor] = successor_payload
+                    parents.append((node, action))
+                    depths.append(depths[node] + 1)
+                    if depths[successor] > stats.max_depth:
+                        stats.max_depth = depths[successor]
+                    frontier.append(successor)
+                if edges is not None:
+                    edges.append((node, successor, action))
+        except PropertyViolation as error:
+            stats.states = len(keys)
+            return ExplorationResult(
+                stats=stats,
+                violation=error.violation,
+                trace=trace_to(node, error.action),
+                keys=keys,
+                edges=edges,
+            )
+    stats.states = len(keys)
+    return ExplorationResult(stats=stats, keys=keys, edges=edges)

@@ -182,6 +182,28 @@ class Rep006MutableDefault(LintRule):
     code = "REP006"
 
 
+class Rep008SetIterationLibrary(LintRule):
+    """Iteration over a set in a library module outside the simulation core.
+
+    REP003 bans set iteration inside the cycle-accurate simulation
+    packages; this rule extends the same discipline to every other
+    ``repro`` library module.  Analysis reports, experiment sweeps,
+    checkpoint writers and cache manifests all *produce output* whose
+    ordering feeds exported artifacts, and any code interleaved with RNG
+    draws consumes streams in iteration order — a set's hash-dependent
+    order makes both silently irreproducible across processes and Python
+    builds.  Iterate lists/tuples, or ``sorted(...)`` the set first.
+    Membership tests and set algebra remain fine — only ``for ... in`` a
+    set literal, set comprehension, or ``set(...)``/``frozenset(...)``
+    call is flagged.  Order-insensitive reductions (``sum``, ``max``,
+    counting) are legitimate — suppress with ``# repro: noqa=REP008``
+    and a justification.  Dict/dict-view iteration is deliberately not
+    flagged: dictionaries preserve insertion order by language guarantee.
+    """
+
+    code = "REP008"
+
+
 class Rep007WallClockOutsideAllowlist(LintRule):
     """Wall-clock read outside the measurement allowlist.
 
@@ -213,6 +235,7 @@ RULES: dict[str, type[LintRule]] = {
         Rep005BareAssert,
         Rep006MutableDefault,
         Rep007WallClockOutsideAllowlist,
+        Rep008SetIterationLibrary,
     )
 }
 
@@ -456,14 +479,27 @@ class _FileChecker(ast.NodeVisitor):
         return False
 
     def _check_iteration(self, iterable: ast.expr) -> None:
-        if not self.context.in_simulation_path or self.context.is_test:
+        if self.context.is_test or not self._is_set_expression(iterable):
             return
-        if self._is_set_expression(iterable):
+        if self.context.in_simulation_path:
             self._add(
                 "REP003",
                 iterable,
                 "iteration over a set in a simulation module has "
                 "hash-dependent order; iterate a list/tuple or sorted(...)",
+            )
+        elif self.context.module is not None and (
+            self.context.module == "repro"
+            or self.context.module.startswith("repro.")
+        ):
+            # Library modules outside the simulation core: same hazard,
+            # aimed at output ordering and RNG consumption (REP008).
+            self._add(
+                "REP008",
+                iterable,
+                "iteration over a set in a library module has "
+                "hash-dependent order that leaks into output ordering or "
+                "RNG consumption; iterate a list/tuple or sorted(...)",
             )
 
     def visit_For(self, node: ast.For) -> None:

@@ -1,39 +1,62 @@
-"""Rendering of lint findings for humans (text) and tooling (JSON).
+"""Rendering of lint findings for humans (text), tooling (JSON) and CI
+(GitHub Actions workflow annotations).
 
 The JSON document is versioned so CI annotations and future tooling can
-consume it without scraping the text form:
+consume it without scraping the text form.  Paths are repo-relative
+(relative to the current working directory) so reports are comparable
+across machines and checkouts:
 
 .. code-block:: json
 
     {
-      "version": 1,
+      "schema": 2,
       "files_checked": 120,
       "findings": [
-        {"code": "REP004", "path": "...", "line": 7, "column": 12,
-         "message": "...", "summary": "..."}
+        {"code": "REP004", "path": "src/repro/...", "line": 7,
+         "column": 12, "message": "...", "summary": "..."}
       ],
       "counts": {"REP004": 1},
       "clean": false
     }
+
+Schema history: version 1 used the key ``"version"`` and emitted paths
+exactly as given on the command line; version 2 renamed the key to
+``"schema"`` and normalizes paths repo-relative.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.lint import Finding, RULES
 
-__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+__all__ = ["render_text", "render_json", "render_github", "REPORT_VERSION"]
 
 #: Schema version of the JSON report.
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def _counts(findings: Sequence[Finding]) -> dict[str, int]:
     counter = Counter(finding.code for finding in findings)
     return {code: counter[code] for code in sorted(counter)}
+
+
+def _relative_path(path: str) -> str:
+    """Make ``path`` repo-relative (POSIX separators) when possible.
+
+    Paths outside the current working directory are returned unchanged —
+    better an absolute path than a wrong relative one.
+    """
+    candidate = Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.relative_to(Path.cwd())
+        except ValueError:
+            return path
+    return candidate.as_posix()
 
 
 def render_text(findings: Sequence[Finding], files_checked: int) -> str:
@@ -54,10 +77,15 @@ def render_text(findings: Sequence[Finding], files_checked: int) -> str:
 
 def render_json(findings: Sequence[Finding], files_checked: int) -> str:
     """Versioned JSON report (see module docstring for the schema)."""
+    serialized = []
+    for finding in findings:
+        entry = finding.as_dict()
+        entry["path"] = _relative_path(finding.path)
+        serialized.append(entry)
     document = {
-        "version": REPORT_VERSION,
+        "schema": REPORT_VERSION,
         "files_checked": files_checked,
-        "findings": [finding.as_dict() for finding in findings],
+        "findings": serialized,
         "counts": _counts(findings),
         "clean": not findings,
         "rules": {
@@ -65,3 +93,35 @@ def render_json(findings: Sequence[Finding], files_checked: int) -> str:
         },
     }
     return json.dumps(document, indent=2, sort_keys=False)
+
+
+def render_github(findings: Sequence[Finding], files_checked: int) -> str:
+    """GitHub Actions workflow commands: one ``::error`` per finding.
+
+    Emitted to stdout inside an Actions job, each line becomes an inline
+    annotation on the pull-request diff.  Messages have ``%``, ``\\r``
+    and ``\\n`` percent-encoded as the workflow-command syntax requires.
+    A trailing ``::notice`` summarises the run so a clean job still
+    shows the linter executed.
+    """
+
+    def escape(text: str) -> str:
+        return (
+            text.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+
+    lines = [
+        f"::error file={_relative_path(finding.path)},"
+        f"line={finding.line},col={finding.column},"
+        f"title={finding.code}::{escape(finding.message)}"
+        for finding in findings
+    ]
+    summary = (
+        f"repro-lint: {len(findings)} finding(s) in {files_checked} file(s)"
+        if findings
+        else f"repro-lint: clean ({files_checked} file(s) checked)"
+    )
+    lines.append(f"::notice title=repro-lint::{escape(summary)}")
+    return "\n".join(lines)

@@ -196,7 +196,64 @@ class SwitchBuffer(ABC):
     def check_invariants(self) -> None:
         """Structural self-check; raises
         :class:`repro.errors.InvariantError` on corruption.  Subclasses
-        override with architecture-specific checks."""
+        override with architecture-specific checks.
+
+        Contract: implementations must be *pure* — no RNG draws, no meter
+        or register mutation, no reordering of internal containers.  The
+        model checker (:mod:`repro.analysis.model`) calls this once per
+        explored state and assumes the snapshot bytes are unchanged
+        afterwards; ``tests/unit/test_invariant_purity.py`` enforces it.
+        """
+
+    # ------------------------------------------------------------------
+    # Model-checking hooks
+    # ------------------------------------------------------------------
+
+    def observable_state(self) -> dict[str, Any]:
+        """The buffer's externally visible behaviour, as one pure value.
+
+        Everything a switch (or an observational-equivalence check) can
+        learn about the buffer through the public interface this cycle:
+        acceptance per destination, the head packet offered per
+        destination, per-queue lengths and the aggregate counters.  Two
+        buffers with equal observable states are indistinguishable to the
+        arbiter and the flow-control logic *right now*; the model checker
+        uses repeated observations along all interleavings to establish
+        observational equivalence (e.g. DAMQ restricted to one queue vs.
+        FIFO).  Must not mutate the buffer.
+        """
+        heads: list[int | None] = []
+        for destination in range(self.num_outputs):
+            packet = self.peek(destination)
+            heads.append(None if packet is None else packet.packet_id)
+        return {
+            "kind": self.kind,
+            "occupancy": self.occupancy,
+            "retired": self.retired_count,
+            "accepts": [
+                self.can_accept(destination)
+                for destination in range(self.num_outputs)
+            ],
+            "heads": heads,
+            "lengths": [
+                self.queue_length(destination)
+                for destination in range(self.num_outputs)
+            ],
+        }
+
+    def canonical_state(self) -> tuple[Any, ...]:
+        """A hashable canonical form of the complete buffer state.
+
+        Used by the model checker to deduplicate explored states: two
+        buffers with equal canonical states have isomorphic futures.
+        Packet identity is *not* part of the canonical form (slot
+        contents are summarized by destination and size) because packet
+        ids never influence buffer behaviour — the checker renumbers ids
+        canonically per state.  Must not mutate the buffer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support canonicalization"
+        )
 
     # ------------------------------------------------------------------
     # Checkpoint serialization

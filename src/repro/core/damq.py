@@ -192,6 +192,33 @@ class DamqBuffer(SwitchBuffer):
             self._packet_counts[output] = len(seen)
         self._retired_slots = state["retired_slots"]
 
+    def canonical_state(self) -> tuple[Any, ...]:
+        # Exact physical layout (register file) plus the per-list packet
+        # shape: consecutive slots of one multi-slot packet are grouped,
+        # so the value records packet sizes in queue order per list.
+        # Packet ids are excluded (renumbered by the model checker).
+        sizes: list[tuple[int, ...]] = []
+        for output in range(self.num_outputs):
+            shape: list[int] = []
+            previous_id: int | None = None
+            for slot in self._lists.slots(output):
+                packet = self._slot_packet[slot]
+                if packet is None:
+                    raise InvariantError(
+                        f"allocated slot {slot} holds no packet"
+                    )
+                if packet.packet_id != previous_id:
+                    shape.append(packet.size)
+                    previous_id = packet.packet_id
+            sizes.append(tuple(shape))
+        return (
+            self.kind,
+            self.capacity,
+            self.num_outputs,
+            self._lists.canonical_state(),
+            tuple(sizes),
+        )
+
     def check_invariants(self) -> None:
         """Structural self-check delegated to the register-file model.
 

@@ -149,6 +149,21 @@ class FifoBuffer(SwitchBuffer):
             self._lengths[self._queue[0][1]] = self._used
         self._retired_slots = state["retired_slots"]
 
+    def canonical_state(self) -> tuple[Any, ...]:
+        # The single queue in order, identified by (destination, size):
+        # packet ids are renumbered by the model checker, so they carry
+        # no information here.
+        return (
+            self.kind,
+            self.capacity,
+            self.num_outputs,
+            self._retired_slots,
+            tuple(
+                (destination, packet.size)
+                for packet, destination in self._queue
+            ),
+        )
+
     def check_invariants(self) -> None:
         total = sum(packet.size for packet, _ in self._queue)
         if total != self._used:

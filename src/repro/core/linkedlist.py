@@ -296,6 +296,25 @@ class SlotListManager:
         self._free_tail = slot
         self._free_count += 1
 
+    def canonical_state(self) -> tuple[Any, ...]:
+        """A hashable canonical form of the register file (pure).
+
+        Captures the *exact* physical layout — per-list slot chains in
+        queue order, the free chain in recycling order, and the retired
+        set — so the model checker's exact-layout mode distinguishes
+        states that differ only in how slots are threaded.
+        """
+        return (
+            self.num_slots,
+            self.num_lists,
+            tuple(
+                tuple(self.slots(list_id))
+                for list_id in range(self.num_lists)
+            ),
+            tuple(self.free_slots()),
+            tuple(sorted(self._retired)),
+        )
+
     # ------------------------------------------------------------------
     # Checkpoint serialization
     # ------------------------------------------------------------------

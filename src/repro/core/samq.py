@@ -175,6 +175,21 @@ class SamqBuffer(SwitchBuffer):
         self._partition_retired[:] = state["partition_retired"]
         self._retired_slots = state["retired_slots"]
 
+    def canonical_state(self) -> tuple[Any, ...]:
+        # Per-partition queues in order, packets identified by size only
+        # (ids are renumbered canonically by the model checker).  ``kind``
+        # distinguishes SAMQ from SAFC, whose read-port width differs.
+        return (
+            self.kind,
+            self.capacity,
+            self.num_outputs,
+            tuple(self._partition_retired),
+            tuple(
+                tuple(packet.size for packet in queue)
+                for queue in self._queues
+            ),
+        )
+
     def check_invariants(self) -> None:
         for destination, queue in enumerate(self._queues):
             if len(queue) != self._counts[destination]:

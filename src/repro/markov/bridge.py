@@ -1,0 +1,84 @@
+"""Bridge from an explored reachable-state graph to a Markov chain.
+
+The model checker (:mod:`repro.analysis.model`) explores the concrete
+register-level switch in ``markov`` mode and records every transition as
+``(source, target, tie weight, idle ports, arriving ports)``.  This
+module turns that edge list into the exact transition matrix of the
+induced discrete-time Markov chain: each edge contributes
+
+``tie * (1 - p) ** idle * (p / num_ports) ** arrivals``
+
+where ``p`` is the per-port traffic rate and the tie weight (an exact
+:class:`~fractions.Fraction`) splits probability uniformly among
+equally-ranked longest-queue service sets — the same decomposition
+:mod:`repro.markov.models` uses symbolically.  Agreement of the two
+stationary distributions is therefore an end-to-end cross-check of the
+buffer implementations, the arbitration policy and the symbolic chain
+compiler against one another.
+
+Kept separate from :mod:`repro.analysis` so the dependency points one
+way only: the analysis package imports this bridge lazily, and nothing
+here imports the analysis package.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.markov.chain import MarkovChain
+
+__all__ = ["WeightedEdge", "chain_from_graph"]
+
+#: (source state, target state, tie weight, idle ports, arriving ports).
+WeightedEdge = tuple[int, int, Fraction, int, int]
+
+
+def chain_from_graph(
+    num_states: int,
+    edges: list[WeightedEdge],
+    rate: float,
+    num_ports: int,
+    *,
+    tolerance: float = 1e-9,
+) -> MarkovChain:
+    """Assemble the Markov chain induced by an explored state graph.
+
+    Parallel edges (several service/arrival outcomes joining the same
+    state pair) accumulate.  Row stochasticity is validated by
+    :class:`~repro.markov.chain.MarkovChain` itself, so a dropped or
+    double-counted transition in the exploration surfaces here as a
+    row-sum error rather than a silently wrong distribution.
+    """
+    if num_states <= 0:
+        raise ConfigurationError("graph must contain at least one state")
+    if not 0.0 < rate < 1.0:
+        raise ConfigurationError(
+            f"traffic rate must lie strictly in (0, 1), got {rate}"
+        )
+    if num_ports <= 0:
+        raise ConfigurationError(f"invalid port count {num_ports}")
+    per_port = rate / num_ports
+    idle_probability = 1.0 - rate
+    matrix = sp.dok_matrix((num_states, num_states), dtype=np.float64)
+    for source, target, tie, idle, arrivals in edges:
+        if not 0 <= source < num_states or not 0 <= target < num_states:
+            raise ConfigurationError(
+                f"edge ({source} -> {target}) outside the {num_states}-state "
+                f"graph"
+            )
+        if idle < 0 or arrivals < 0 or idle + arrivals != num_ports:
+            raise ConfigurationError(
+                f"edge ({source} -> {target}) labels {idle} idle + "
+                f"{arrivals} arriving ports on a {num_ports}-port switch"
+            )
+        probability = (
+            float(tie)
+            * idle_probability**idle
+            * per_port**arrivals
+        )
+        matrix[source, target] += probability
+    return MarkovChain(matrix.tocsr(), tolerance=tolerance)

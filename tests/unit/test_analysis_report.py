@@ -1,0 +1,176 @@
+"""Unit tests for :mod:`repro.analysis.report` and the CLI exit codes.
+
+The report module is the seam between the linter and everything that
+consumes it (humans, CI annotations, tooling), so its three renderers
+are pinned here independently of the lint rules: aggregation counts,
+the empty-input (clean) forms, the versioned JSON schema with
+repo-relative paths, the GitHub Actions workflow-command escaping, and
+the exit codes of the ``lint`` sub-command driven in-process through
+:func:`repro.analysis.__main__.main`.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.lint import Finding
+from repro.analysis.report import (
+    REPORT_VERSION,
+    render_github,
+    render_json,
+    render_text,
+)
+
+
+def finding(code="REP005", path="src/repro/core/demo.py", line=3, column=0,
+            message="bare assert in simulation code"):
+    return Finding(
+        code=code, message=message, path=path, line=line, column=column
+    )
+
+
+SAMPLE = [
+    finding(),
+    finding(code="REP004", line=9, column=4, message="float equality"),
+    finding(code="REP005", path="src/repro/core/other.py", line=1),
+]
+
+
+class TestRenderText:
+    def test_one_line_per_finding_plus_summary(self):
+        text = render_text(SAMPLE, files_checked=7)
+        lines = text.splitlines()
+        assert len(lines) == len(SAMPLE) + 1
+        assert lines[0] == SAMPLE[0].render()
+        assert "3 finding(s) in 7 file(s)" in lines[-1]
+
+    def test_summary_aggregates_counts_by_code(self):
+        text = render_text(SAMPLE, files_checked=7)
+        assert "REP004: 1" in text
+        assert "REP005: 2" in text
+
+    def test_empty_input_is_clean(self):
+        assert render_text([], files_checked=12) == (
+            "clean: 0 findings in 12 file(s)"
+        )
+
+
+class TestRenderJson:
+    def test_schema_version_and_shape(self):
+        payload = json.loads(render_json(SAMPLE, files_checked=7))
+        assert payload["schema"] == REPORT_VERSION == 2
+        assert "version" not in payload  # the v1 key is gone
+        assert payload["files_checked"] == 7
+        assert payload["clean"] is False
+        assert payload["counts"] == {"REP004": 1, "REP005": 2}
+        assert len(payload["findings"]) == 3
+        entry = payload["findings"][0]
+        assert entry["code"] == "REP005"
+        assert entry["line"] == 3
+        assert entry["column"] == 0
+
+    def test_empty_input_is_clean(self):
+        payload = json.loads(render_json([], files_checked=4))
+        assert payload["clean"] is True
+        assert payload["counts"] == {}
+        assert payload["findings"] == []
+
+    def test_rules_catalogue_includes_every_code(self):
+        payload = json.loads(render_json([], files_checked=0))
+        for code in ("REP001", "REP008"):
+            assert code in payload["rules"]
+
+    def test_absolute_paths_become_repo_relative(self):
+        absolute = os.path.join(os.getcwd(), "src", "repro", "x.py")
+        payload = json.loads(
+            render_json([finding(path=absolute)], files_checked=1)
+        )
+        assert payload["findings"][0]["path"] == "src/repro/x.py"
+
+    def test_paths_outside_repo_stay_absolute(self):
+        payload = json.loads(
+            render_json([finding(path="/elsewhere/x.py")], files_checked=1)
+        )
+        assert payload["findings"][0]["path"] == "/elsewhere/x.py"
+
+
+class TestRenderGithub:
+    def test_error_annotation_per_finding(self):
+        lines = render_github(SAMPLE, files_checked=7).splitlines()
+        assert len(lines) == len(SAMPLE) + 1  # + trailing ::notice
+        assert lines[0] == (
+            "::error file=src/repro/core/demo.py,line=3,col=0,"
+            "title=REP005::bare assert in simulation code"
+        )
+        assert lines[-1].startswith("::notice title=repro-lint::")
+        assert "3 finding(s) in 7 file(s)" in lines[-1]
+
+    def test_message_percent_escaping(self):
+        tricky = finding(message="50% chance\r\nof reorder")
+        line = render_github([tricky], files_checked=1).splitlines()[0]
+        assert line.endswith("::50%25 chance%0D%0Aof reorder")
+        assert "\n" not in line
+
+    def test_clean_run_still_emits_notice(self):
+        lines = render_github([], files_checked=9).splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("::notice title=repro-lint::")
+        assert "clean (9 file(s) checked)" in lines[0]
+
+
+class TestCliExitCodes:
+    """Drive ``main(argv)`` in-process: exit codes and format switches."""
+
+    def test_clean_lint_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "src" / "repro" / "core"
+        dirty.mkdir(parents=True)
+        (dirty / "demo.py").write_text("assert x\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "REP005" in capsys.readouterr().out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", "--format", "json", str(clean)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_VERSION
+
+    def test_github_format_emits_annotations(self, tmp_path, capsys):
+        dirty = tmp_path / "src" / "repro" / "core"
+        dirty.mkdir(parents=True)
+        (dirty / "demo.py").write_text("assert x\n")
+        assert main(["lint", "--format", "github", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=REP005" in out
+
+    def test_select_filters_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "src" / "repro" / "core"
+        dirty.mkdir(parents=True)
+        (dirty / "demo.py").write_text("assert x\n")
+        assert main(["lint", "--select", "REP004", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_no_subcommand_exits_two(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_rules_subcommand_lists_all_codes(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP003", "REP008"):
+            assert f"{code}:" in out
+
+
+@pytest.mark.parametrize("renderer", [render_text, render_json, render_github])
+def test_renderers_accept_tuples(renderer):
+    # Sequence, not list, is the contract.
+    assert renderer(tuple(SAMPLE), files_checked=3)

@@ -1,0 +1,120 @@
+"""``check_invariants`` must be pure: observe, never mutate.
+
+The model checker (and the optimized-invariants CI lane) calls
+``check_invariants`` after every transition; the fault-injection
+campaigns call it between every cycle.  If a check ever mutated state —
+refreshed a cached register, drained a meter, drew from an RNG — those
+callers would change the behaviour they are checking (a heisenbug
+factory).  This suite pins the contract by byte-comparing
+``snapshot_state()`` (via the cache's canonical JSON encoding) around
+repeated invariant checks, for every implementation in the repo:
+
+* the four ``repro.core`` buffers (audited: pure)
+* ``repro.core.linkedlist.SlotListManager`` (audited: pure)
+* the byte-granularity ``repro.chip.slots.DamqBufferHw`` (audited: pure;
+  no ``snapshot_state``, so its manager snapshot + packet records are
+  compared instead)
+* ``repro.chip.comcobb.ComCoBBChip`` / ``repro.chip.network.ChipNetwork``
+  delegate to the above per-port buffers and are covered transitively.
+
+The model-checking hooks ``observable_state()`` and ``canonical_state()``
+carry the same purity contract and are pinned the same way.
+"""
+
+import pytest
+
+from repro.cache.keys import canonical_json
+from repro.chip.slots import DamqBufferHw
+from repro.core.linkedlist import SlotListManager
+from repro.core.packet import Packet
+from repro.core.registry import PAPER_ORDER, make_buffer
+
+CAPACITY = 6
+OUTPUTS = 2
+
+
+def _populated_buffer(kind):
+    """A mid-life buffer: pushes, pops and one retirement."""
+    buffer = make_buffer(kind, CAPACITY, OUTPUTS)
+    for packet_id in range(4):
+        destination = packet_id % OUTPUTS
+        if buffer.can_accept(destination):
+            buffer.push(
+                Packet(packet_id=packet_id, source=0, destination=destination),
+                destination,
+            )
+    for destination in range(OUTPUTS):
+        if buffer.peek(destination) is not None:
+            buffer.pop(destination)
+            break
+    buffer.retire_slot()
+    return buffer
+
+
+@pytest.mark.parametrize("kind", PAPER_ORDER)
+def test_check_invariants_does_not_change_snapshot_bytes(kind):
+    buffer = _populated_buffer(kind)
+    before = canonical_json(buffer.snapshot_state())
+    for _ in range(3):
+        buffer.check_invariants()
+    assert canonical_json(buffer.snapshot_state()) == before
+
+
+@pytest.mark.parametrize("kind", PAPER_ORDER)
+def test_model_hooks_do_not_change_snapshot_bytes(kind):
+    buffer = _populated_buffer(kind)
+    before = canonical_json(buffer.snapshot_state())
+    first_observable = buffer.observable_state()
+    first_canonical = buffer.canonical_state()
+    assert canonical_json(buffer.snapshot_state()) == before
+    # The hooks are also deterministic: same state, same value.
+    assert buffer.observable_state() == first_observable
+    assert buffer.canonical_state() == first_canonical
+
+
+def test_slot_list_manager_invariants_are_pure():
+    manager = SlotListManager(num_slots=6, num_lists=2)
+    for list_id in (0, 1, 0):
+        manager.allocate(list_id)
+    manager.release_head(0)
+    manager.retire_slot()
+    before = canonical_json(manager.snapshot_state())
+    for _ in range(3):
+        manager.check_invariants()
+    assert canonical_json(manager.snapshot_state()) == before
+    canonical = manager.canonical_state()
+    assert canonical_json(manager.snapshot_state()) == before
+    assert manager.canonical_state() == canonical
+
+
+def test_chip_buffer_invariants_are_pure():
+    buffer = DamqBufferHw(12, 5, port_id=0)
+    packet = buffer.begin_packet(destination=2, new_header=9)
+    buffer.set_length(packet, 20)
+    for byte in range(20):
+        buffer.write_byte(packet, byte % 256)
+
+    def state():
+        return canonical_json(
+            {
+                "lists": buffer.lists.snapshot_state(),
+                "packets": [
+                    [
+                        hw.destination,
+                        hw.length,
+                        hw.bytes_written,
+                        hw.bytes_read,
+                        hw.slots_released,
+                        list(hw.slots),
+                    ]
+                    for queue in buffer.queues
+                    for hw in queue
+                ],
+                "data": [list(row) for row in buffer.data],
+            }
+        )
+
+    before = state()
+    for _ in range(3):
+        buffer.check_invariants()
+    assert state() == before

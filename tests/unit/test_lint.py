@@ -163,7 +163,7 @@ class TestRep003SetIteration:
             """
         ) == []
 
-    def test_only_simulation_modules(self):
+    def test_library_modules_are_rep008_not_rep003(self):
         assert (
             codes(
                 """
@@ -172,7 +172,7 @@ class TestRep003SetIteration:
                 """,
                 module="repro.utils.tables",
             )
-            == []
+            == ["REP008"]
         )
 
     def test_noqa_suppresses(self):
@@ -181,6 +181,59 @@ class TestRep003SetIteration:
             for item in set(items):  # repro: noqa=REP003 order-insensitive sum
                 total += item
             """
+        ) == []
+
+
+class TestRep008SetIterationLibrary:
+    SNIPPET = """
+    for item in set(items):
+        consume(item)
+    """
+
+    def test_flags_repro_library_module(self):
+        assert codes(self.SNIPPET, module="repro.analysis.report") == [
+            "REP008"
+        ]
+
+    def test_flags_comprehension_over_set_literal(self):
+        assert codes(
+            "rows = [f(x) for x in {1, 2, 3}]\n",
+            module="repro.markov.bridge",
+        ) == ["REP008"]
+
+    def test_simulation_modules_stay_rep003(self):
+        assert codes(self.SNIPPET, module="repro.core.damq") == ["REP003"]
+
+    def test_non_repro_modules_exempt(self):
+        assert codes(self.SNIPPET, module="somepkg.helpers") == []
+        assert codes(self.SNIPPET, module=None, path="scripts/tool.py") == []
+
+    def test_tests_exempt(self):
+        assert (
+            codes(
+                self.SNIPPET,
+                module="repro.utils.tables",
+                path="tests/unit/test_tables.py",
+            )
+            == []
+        )
+
+    def test_sorted_set_is_allowed(self):
+        assert codes(
+            """
+            for item in sorted(set(items)):
+                consume(item)
+            """,
+            module="repro.utils.tables",
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert codes(
+            """
+            for item in set(items):  # repro: noqa=REP008 order-insensitive
+                total += item
+            """,
+            module="repro.utils.tables",
         ) == []
 
 
@@ -338,6 +391,7 @@ class TestInfrastructure:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         }
         for code, rule in RULES.items():
             assert rule.code == code
@@ -370,7 +424,7 @@ class TestInfrastructure:
             "assert x\n", path="src/repro/core/demo.py", module=SIM_MODULE
         )
         payload = json.loads(render_json(findings, files_checked=1))
-        assert payload["version"] == 1
+        assert payload["schema"] == 2
         assert payload["clean"] is False
         assert payload["counts"] == {"REP005": 1}
         assert payload["findings"][0]["code"] == "REP005"

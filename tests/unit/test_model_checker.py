@@ -1,0 +1,197 @@
+"""Unit tests for the bounded model checker (:mod:`repro.analysis.model`).
+
+Exhaustive exploration is cheap at these parameters (tens to hundreds of
+states), so the tests run the real checker end to end: every buffer kind
+verifies cleanly, the refinement and dominance properties hold, planted
+bugs are detected with replayable minimal counterexamples, and the
+explored state graph's stationary distribution matches the analytic
+:mod:`repro.markov` chain.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.__main__ import main, verify_main
+from repro.analysis.counterexample import Counterexample
+from repro.analysis.model import (
+    MUTATIONS,
+    cross_validate,
+    run_self_test,
+    verify_buffer,
+    verify_dominance,
+    verify_fifo_refinement,
+    verify_switch,
+)
+from repro.core.registry import PAPER_ORDER
+from repro.errors import ConfigurationError
+from repro.telemetry import read_vcd, validate_chrome_trace
+
+
+def mutation(name):
+    for candidate in MUTATIONS:
+        if candidate.name == name:
+            return candidate
+    raise LookupError(name)
+
+
+class TestBufferVerification:
+    @pytest.mark.parametrize("kind", PAPER_ORDER)
+    def test_all_kinds_verify_clean(self, kind):
+        # Capacity 4: SAMQ/SAFC need the partition to divide the slots.
+        result = verify_buffer(kind, 4, 2)
+        assert result.ok, result.describe()
+        assert result.stats.states > 1
+        assert not result.stats.truncated
+        assert result.counterexample is None
+
+    def test_exact_layout_explores_more_damq_states(self):
+        exact = verify_buffer("DAMQ", 3, 2, exact_layout=True)
+        collapsed = verify_buffer("DAMQ", 3, 2, exact_layout=False)
+        assert exact.ok and collapsed.ok
+        assert exact.stats.states > collapsed.stats.states
+
+    def test_blocking_protocol_verifies(self):
+        result = verify_buffer("SAMQ", 4, 2, protocol="blocking")
+        assert result.ok, result.describe()
+
+    def test_state_budget_sets_truncated_flag(self):
+        result = verify_buffer("FIFO", 4, 2, max_states=5)
+        assert result.ok
+        assert result.stats.truncated
+        assert result.stats.states <= 5
+
+    def test_unknown_kind_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            verify_buffer("VOQ", 4, 2)
+
+
+class TestSwitchVerification:
+    @pytest.mark.parametrize("kind", PAPER_ORDER)
+    def test_small_switch_verifies_clean(self, kind):
+        result = verify_switch(kind, 2, 2)
+        assert result.ok, result.describe()
+        assert result.stats.states > 1
+        assert not result.stats.truncated
+
+
+class TestRefinementAndDominance:
+    def test_single_queue_damq_refines_fifo(self):
+        result = verify_fifo_refinement(4, 2)
+        assert result.ok, result.describe()
+
+    @pytest.mark.parametrize("kind", ["SAMQ", "SAFC"])
+    def test_partitioned_acceptance_dominated_by_damq(self, kind):
+        result = verify_dominance(kind, 4, 2)
+        assert result.ok, result.describe()
+        # Strict witnesses: states where DAMQ accepts what the
+        # partitioned buffer refuses — the paper's headline advantage.
+        assert result.strict_witnesses > 0
+
+    def test_dominance_rejects_damq_argument(self):
+        with pytest.raises(ConfigurationError):
+            verify_dominance("DAMQ", 4, 2)
+
+
+class TestSelfTest:
+    def test_every_planted_bug_detected(self):
+        results = run_self_test()
+        assert len(results) == len(MUTATIONS)
+        for result in results:
+            assert result.detected, result.describe()
+            assert result.violation is not None
+            assert result.trace_length > 0
+
+
+class TestCounterexamples:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        """A counterexample found under the fifo-reorder mutation."""
+        bug = mutation("fifo-reorder")
+        with bug.patch():
+            result = bug.check()
+        assert result.violation is not None
+        assert result.counterexample is not None
+        return bug, result
+
+    def test_replay_reproduces_under_mutation(self, planted):
+        bug, result = planted
+        with bug.patch():
+            violation = result.counterexample.replay()
+        assert violation is not None
+        assert violation.prop == result.violation.prop
+
+    def test_replay_is_clean_without_mutation(self, planted):
+        _bug, result = planted
+        assert result.counterexample.replay() is None
+
+    def test_json_round_trip(self, planted):
+        _bug, result = planted
+        payload = json.loads(json.dumps(result.counterexample.to_dict()))
+        restored = Counterexample.from_dict(payload)
+        assert restored.actions == result.counterexample.actions
+        assert restored.config == result.counterexample.config
+        assert restored.violation == result.counterexample.violation
+
+    def test_from_dict_rejects_unknown_version(self):
+        with pytest.raises(ConfigurationError):
+            Counterexample.from_dict({"version": 99, "config": {},
+                                      "actions": []})
+
+    def test_render_script_replays_standalone(self, planted, tmp_path):
+        bug, result = planted
+        script = tmp_path / "replay.py"
+        script.write_text(result.counterexample.render_script())
+        # Without the mutation the violation must NOT reproduce: exit 1.
+        run = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True
+        )
+        assert run.returncode == 1
+        assert "did NOT reproduce" in run.stdout
+
+    def test_waveform_export(self, planted, tmp_path):
+        _bug, result = planted
+        paths = result.counterexample.export(tmp_path, "cex")
+        vcd = read_vcd(paths["vcd"])
+        assert vcd["signals"]
+        chrome = validate_chrome_trace(paths["chrome"])
+        assert chrome["metadata"]
+
+
+class TestMarkovCrossValidation:
+    @pytest.mark.parametrize("kind", PAPER_ORDER)
+    def test_stationary_distribution_matches_markov(self, kind):
+        validation = cross_validate(kind, 2, 0.6)
+        assert validation.ok, validation.describe()
+        assert validation.max_error < 1e-9
+        assert validation.explored_states > 1
+
+    def test_rate_must_be_open_interval(self):
+        with pytest.raises(ConfigurationError):
+            cross_validate("FIFO", 2, 1.0)
+
+
+class TestCommandLine:
+    def test_verify_main_smoke(self, capsys):
+        code = verify_main(
+            ["--buffer", "FIFO", "--slots", "2", "--system", "buffer",
+             "--skip-refinements"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffer[FIFO]: ok" in out
+
+    def test_model_subcommand_with_cross_validation(self, capsys):
+        code = main(
+            ["model", "--buffer", "DAMQ", "--slots", "2", "--system",
+             "buffer", "--skip-refinements", "--cross-validate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "markov[DAMQ]" in out
+
+    def test_unknown_buffer_exits_two(self, capsys):
+        assert main(["model", "--buffer", "VOQ", "--slots", "2"]) == 2
+        assert "aborted" in capsys.readouterr().out
