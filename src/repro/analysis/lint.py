@@ -35,9 +35,17 @@ __all__ = [
 
 #: Packages whose modules are cycle-accurate simulation paths: wall-clock
 #: reads and order-dependent iteration are determinism hazards here.
-#: ``repro.perf`` is deliberately absent — the perf harness exists to read
-#: wall clocks.
-SIMULATION_PACKAGES = ("repro.core", "repro.switch", "repro.network", "repro.chip")
+#: ``repro.kernel`` is the vectorized simulation backend — it must obey
+#: the exact same determinism contract as the scalar simulator it
+#: replays, so it lives under the same rules.  ``repro.perf`` is
+#: deliberately absent — the perf harness exists to read wall clocks.
+SIMULATION_PACKAGES = (
+    "repro.core",
+    "repro.switch",
+    "repro.network",
+    "repro.chip",
+    "repro.kernel",
+)
 
 #: The one module allowed to talk to ``numpy.random`` directly: every
 #: other module must draw through its seeded, named streams.
@@ -120,9 +128,9 @@ class Rep002WallClock(LintRule):
     ``time.time``/``perf_counter``/``monotonic``, ``datetime.now`` and
     friends make simulated behaviour depend on host speed and scheduling.
     The cycle-accurate packages (``repro.core``, ``repro.switch``,
-    ``repro.network``, ``repro.chip``) must derive all timing from
-    simulated cycle counters; wall clocks belong in ``repro.perf`` (the
-    measurement harness) and the CLI layers only.
+    ``repro.network``, ``repro.chip``, ``repro.kernel``) must derive all
+    timing from simulated cycle counters; wall clocks belong in
+    ``repro.perf`` (the measurement harness) and the CLI layers only.
     """
 
     code = "REP002"

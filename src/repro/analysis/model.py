@@ -1183,6 +1183,16 @@ def build_system(config: dict[str, Any]) -> ModelSystem:
         return DominanceSystem(
             config["kind"], config["capacity"], config["num_outputs"]
         )
+    if name == "kernel-diff":
+        # Imported here: the kernel package is optional machinery layered
+        # on top of the analysis core, not a dependency of it.
+        from repro.kernel.differential import KernelDiffSystem
+        from repro.network.simulator import NetworkConfig
+
+        return KernelDiffSystem(
+            NetworkConfig.from_state(config["network"]),
+            warmup_cycles=config.get("warmup_cycles", 0),
+        )
     raise ConfigurationError(f"unknown transition system {name!r}")
 
 

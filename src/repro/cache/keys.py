@@ -14,26 +14,16 @@ results the current code would not reproduce.
 from __future__ import annotations
 
 import hashlib
-import json
 from pathlib import Path
 from typing import Any
+
+from repro.utils.digest import canonical_json, digest_json
 
 __all__ = ["cache_key", "canonical_json", "source_fingerprint"]
 
 #: Memoized fingerprint — the source tree cannot change under a running
 #: process, so it is computed at most once per process.
 _FINGERPRINT: str | None = None
-
-
-def canonical_json(value: Any) -> str:
-    """Serialize ``value`` to a canonical JSON string.
-
-    Sorted keys and fixed separators make the encoding independent of
-    dict insertion order; Python's ``repr``-based float formatting makes
-    it exact (two floats encode identically iff they are the same
-    value).
-    """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
 def source_fingerprint() -> str:
@@ -72,4 +62,4 @@ def cache_key(experiment: str, codec: str, payload: Any) -> str:
         "payload": payload,
         "source": source_fingerprint(),
     }
-    return hashlib.sha256(canonical_json(document).encode()).hexdigest()
+    return digest_json(document)

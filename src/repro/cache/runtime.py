@@ -51,6 +51,12 @@ class CacheContext:
         experiment fans out is sharded across supervised workers —
         with heartbeats, deadlines and bounded retries — instead of an
         anonymous ``ProcessPoolExecutor``.
+    backend:
+        Forced simulation backend (``"reference"``/``"numpy"``) applied
+        to every grid the experiment fans out, or ``None`` to honour
+        the ambient ``REPRO_BACKEND`` preference.  Ambient for the same
+        reason the cache is: the figure/table code stays
+        backend-oblivious.
     """
 
     def __init__(
@@ -61,6 +67,7 @@ class CacheContext:
         checkpoint_dir: str | Path | None = None,
         dispatcher: Callable[[Callable[[Any], Any], list[Any]], list[Any]]
         | None = None,
+        backend: str | None = None,
     ) -> None:
         self.cache = cache
         self.experiment = experiment
@@ -69,6 +76,7 @@ class CacheContext:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.dispatcher = dispatcher
+        self.backend = backend
 
     @property
     def checkpointing(self) -> bool:

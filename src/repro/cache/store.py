@@ -19,7 +19,6 @@ warm re-runs at one index read and zero writes per hit.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -28,6 +27,7 @@ from typing import Any
 
 from repro.cache.codecs import decode_result, encode_result
 from repro.errors import ConfigurationError
+from repro.utils.digest import digest_text
 
 __all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR"]
 
@@ -170,7 +170,7 @@ class ResultCache:
             "experiment": experiment,
             "seq": self._seq,
             "size": len(text),
-            "sha256": hashlib.sha256(text.encode()).hexdigest(),
+            "sha256": digest_text(text),
         }
         self._dirty = True
         self._evict()
@@ -231,7 +231,7 @@ class ResultCache:
                 del self._entries[key]
                 self._dirty = True
                 continue
-            digest = hashlib.sha256(text.encode()).hexdigest()
+            digest = digest_text(text)
             if digest != entry["sha256"]:
                 problems.append(f"{key}: blob digest mismatch ({path})")
                 del self._entries[key]

@@ -53,6 +53,15 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = one per CPU; results are identical for any value)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["reference", "numpy"],
+        default=None,
+        help="force the simulation backend for every grid (results are "
+        "byte-identical; numpy fuses each grid into vectorized batch "
+        "kernels).  Unset, the REPRO_BACKEND environment variable "
+        "applies as a soft preference",
+    )
+    parser.add_argument(
         "--csv-dir",
         metavar="DIR",
         default=None,
@@ -124,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             cache=cache,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            backend=args.backend,
         )
         elapsed = time.perf_counter() - started  # repro: noqa=REP007 - CLI timing
         print(result.render())

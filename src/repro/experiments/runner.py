@@ -61,6 +61,7 @@ def run_experiment(
     checkpoint_dir: str | Path | None = None,
     dispatcher: Callable[[Callable[[Any], Any], list[Any]], list[Any]]
     | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id ("table2", "figure3", ...).
 
@@ -80,6 +81,13 @@ def run_experiment(
     external executor ``(fn, items) -> results`` — the simulation
     service passes its supervised worker pool here so every grid point
     runs under heartbeat monitoring and bounded, backed-off retries.
+
+    ``backend`` forces a simulation backend for every grid the
+    experiment fans out (``"reference"`` or ``"numpy"``); ``None``
+    honours the ``REPRO_BACKEND`` preference.  Results are
+    byte-identical across backends — a forced numpy request merely
+    raises :class:`ConfigurationError` when combined with a feature the
+    vectorized kernel does not implement.
     """
     experiment_id = experiment_id.lower()
     try:
@@ -89,12 +97,17 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         ) from None
+    if backend is not None:
+        from repro.kernel.base import normalize_backend
+
+        backend = normalize_backend(backend)
     context = CacheContext(
         cache,
         experiment_id,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         dispatcher=dispatcher,
+        backend=backend,
     )
     with activate(context):
         return runner(quick=quick, seed=seed, jobs=jobs)
@@ -107,6 +120,7 @@ def run_all(
     cache: ResultCache | None = None,
     checkpoint_every: int | None = None,
     checkpoint_dir: str | Path | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Run every experiment in paper order (options as
     :func:`run_experiment`; all experiments share one ``cache``)."""
@@ -119,6 +133,7 @@ def run_all(
             cache=cache,
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            backend=backend,
         )
         for experiment_id in EXPERIMENTS
     ]

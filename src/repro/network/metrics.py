@@ -136,6 +136,27 @@ class SimulationResult:
         """Mean injection-to-delivery latency in clock cycles."""
         return self.meters.network_latency.mean
 
+    def to_state(self) -> dict[str, Any]:
+        """Every field as a JSON-able dict (digests, baselines).
+
+        The meters are expanded through :meth:`Meters.snapshot_state`,
+        so two results serialize identically iff every counter and the
+        exact Welford state of every accumulator agree — the equality
+        the cross-backend equivalence tests pin.
+        """
+        return {
+            "buffer_kind": self.buffer_kind,
+            "protocol": self.protocol,
+            "arbiter_kind": self.arbiter_kind,
+            "traffic_kind": self.traffic_kind,
+            "offered_load": self.offered_load,
+            "slots_per_buffer": self.slots_per_buffer,
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "seed": self.seed,
+            "meters": self.meters.snapshot_state(),
+        }
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (

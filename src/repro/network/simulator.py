@@ -131,6 +131,15 @@ class NetworkConfig:
     #: capacity.  0 leaves the buffers untouched.
     retired_slots_per_buffer: int = 0
 
+    def __post_init__(self) -> None:
+        # Accept "blocking"/"discarding" strings and normalize to the
+        # enum: every downstream predicate compares against Protocol
+        # members, so a raw string would silently behave as discarding.
+        if not isinstance(self.protocol, Protocol):
+            object.__setattr__(
+                self, "protocol", Protocol.from_name(self.protocol)
+            )
+
     def with_overrides(self, **kwargs: Any) -> "NetworkConfig":
         """A copy of this config with some fields replaced."""
         return replace(self, **kwargs)
@@ -830,6 +839,7 @@ def simulate(
     sanitize: bool | None = None,
     checkpoint_every: int | None = None,
     checkpoint_path: str | Path | None = None,
+    backend: str | None = None,
 ) -> SimulationResult:
     """Build a simulator for ``config`` and run it once.
 
@@ -838,7 +848,41 @@ def simulate(
     violations through the simulator's sanitizer report.
     ``checkpoint_every``/``checkpoint_path`` as in
     :meth:`OmegaNetworkSimulator.run`.
+
+    ``backend`` forces a simulation backend (``"reference"`` or
+    ``"numpy"``); ``None`` honours the ``REPRO_BACKEND`` preference.
+    Both backends produce byte-identical results; instrumented paths
+    (sanitizer, telemetry, checkpointing) are implemented only by the
+    reference simulator, so a forced numpy request combined with one of
+    them raises :class:`~repro.errors.ConfigurationError` while a mere
+    preference silently falls back — the resolution rules of
+    :func:`repro.kernel.base.resolve_backend`.
     """
+    from repro.kernel.base import resolve_backend
+    from repro.telemetry.session import metrics_directory, trace_directory
+
+    effective_sanitize = (
+        sanitize
+        if sanitize is not None
+        else os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    )
+    tracing = (
+        trace_directory() is not None or metrics_directory() is not None
+    )
+    checkpointing = (
+        checkpoint_every is not None and checkpoint_path is not None
+    )
+    resolved = resolve_backend(
+        config,
+        backend,
+        sanitize=effective_sanitize,
+        trace=tracing,
+        checkpoint=checkpointing,
+    )
+    if resolved == "numpy":
+        from repro.kernel.numpy_kernel import NumpyKernel
+
+        return NumpyKernel(config).run(warmup_cycles, measure_cycles)
     return make_simulator(config, sanitize).run(
         warmup_cycles,
         measure_cycles,

@@ -52,6 +52,14 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes per simulation grid (0 = one per CPU)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["reference", "numpy"],
+        default=None,
+        help="force the simulation backend (recorded in the benchmark "
+        "JSON; baselines from a different backend are refused).  Unset, "
+        "the REPRO_BACKEND environment variable applies softly",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         metavar="PATH",
@@ -123,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             cache=cache,
+            backend=args.backend,
         )
 
     if args.profile:

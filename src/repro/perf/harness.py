@@ -7,17 +7,24 @@ simulation grid flows through).  Results are written to ``BENCH_<n>.json``
 so each PR commits a baseline under ``benchmarks/`` and the next PR can be
 compared against it — the perf trajectory of the repo over time.
 
-The JSON schema (version 1)::
+The JSON schema (version 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "mode": "quick" | "full",
       "jobs": 1,
+      "backend": "reference" | "numpy",
       "experiments": {
         "figure3": {"wall_s": 12.3, "cycles_per_s": 98000.0, "jobs": 1},
         ...
       }
     }
+
+Version 1 files (no ``backend`` field) still load — they predate the
+backend abstraction and implicitly measured the reference simulator.
+Baseline comparisons refuse to diff documents from different backends:
+a 10× kernel speedup is not a perf regression fix, and a regression
+hidden behind a backend switch is not a pass.
 
 ``python -m repro.perf`` runs the harness from the command line; see
 ``--help`` for baseline comparison (used by CI's perf-smoke job) and
@@ -48,7 +55,11 @@ __all__ = [
 ]
 
 #: Version tag written into every benchmark file.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
+
+#: Schema versions :func:`load_bench` accepts (1 predates the backend
+#: field and reads as an implicit reference-backend document).
+_READABLE_SCHEMAS = (1, 2)
 
 
 def measure_experiment(
@@ -57,6 +68,7 @@ def measure_experiment(
     seed: int = 1988,
     jobs: int | None = 1,
     cache: "ResultCache | None" = None,
+    backend: str | None = None,
 ) -> dict:
     """Run one experiment and return its timing record.
 
@@ -75,7 +87,14 @@ def measure_experiment(
 
     reset_simulated_cycles()
     start = time.perf_counter()
-    run_experiment(experiment_id, quick=quick, seed=seed, jobs=jobs, cache=cache)
+    run_experiment(
+        experiment_id,
+        quick=quick,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        backend=backend,
+    )
     wall_s = time.perf_counter() - start
     cycles = simulated_cycles()
     record = {
@@ -87,7 +106,12 @@ def measure_experiment(
         reset_simulated_cycles()
         start = time.perf_counter()
         run_experiment(
-            experiment_id, quick=quick, seed=seed, jobs=jobs, cache=cache
+            experiment_id,
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            backend=backend,
         )
         warm_wall_s = time.perf_counter() - start
         record["warm_wall_s"] = round(warm_wall_s, 3)
@@ -105,6 +129,7 @@ def run_harness(
     jobs: int | None = 1,
     progress: bool = True,
     cache: "ResultCache | None" = None,
+    backend: str | None = None,
 ) -> dict:
     """Measure every requested experiment; return the benchmark document.
 
@@ -123,10 +148,18 @@ def run_harness(
             )
     if cache is not None:
         cache.clear()
+    from repro.kernel.base import requested_backend
+
+    effective_backend = backend or requested_backend() or "reference"
     records: dict[str, dict] = {}
     for experiment_id in experiment_ids:
         record = measure_experiment(
-            experiment_id, quick=quick, seed=seed, jobs=jobs, cache=cache
+            experiment_id,
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            backend=backend,
         )
         records[experiment_id] = record
         if progress:
@@ -144,6 +177,7 @@ def run_harness(
         "schema": BENCH_SCHEMA,
         "mode": "quick" if quick else "full",
         "jobs": records[next(iter(records))]["jobs"] if records else 1,
+        "backend": effective_backend,
         "experiments": records,
     }
     if cache is not None:
@@ -159,12 +193,17 @@ def write_bench(document: dict, path: str | Path) -> Path:
 
 
 def load_bench(path: str | Path) -> dict:
-    """Read a benchmark document, validating the schema version."""
+    """Read a benchmark document, validating the schema version.
+
+    Accepts any of :data:`_READABLE_SCHEMAS`; version-1 documents carry
+    no ``backend`` field and are interpreted as reference-backend runs.
+    """
     document = json.loads(Path(path).read_text())
-    if document.get("schema") != BENCH_SCHEMA:
+    if document.get("schema") not in _READABLE_SCHEMAS:
         raise ConfigurationError(
             f"benchmark file {path} has schema "
-            f"{document.get('schema')!r}, expected {BENCH_SCHEMA}"
+            f"{document.get('schema')!r}, expected one of "
+            f"{_READABLE_SCHEMAS}"
         )
     return document
 
@@ -188,6 +227,14 @@ def compare_to_baseline(
         return [
             f"mode mismatch: current={current.get('mode')!r} "
             f"baseline={baseline.get('mode')!r}; not comparable"
+        ]
+    current_backend = current.get("backend", "reference")
+    baseline_backend = baseline.get("backend", "reference")
+    if current_backend != baseline_backend:
+        return [
+            f"backend mismatch: current={current_backend!r} "
+            f"baseline={baseline_backend!r}; cross-backend wall times "
+            "measure different kernels and are not comparable"
         ]
     failures = []
     for experiment_id, record in current.get("experiments", {}).items():

@@ -38,7 +38,6 @@ heartbeat monitoring and per-task deadlines without changing here.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from collections.abc import Callable, Iterable, Sequence
@@ -49,6 +48,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.cache import runtime
 from repro.cache.keys import cache_key, canonical_json
+from repro.utils.digest import digest_json
 from repro.errors import ConfigurationError, WorkerFailedError
 from repro.utils.backoff import BackoffPolicy
 
@@ -269,11 +269,141 @@ def _simulate_task(task: tuple[Any, ...]) -> "SimulationResult":
     return result
 
 
+def _resolve_backends(
+    configs: Sequence["NetworkConfig"],
+    backend: str | None,
+    context: Any,
+) -> list[str]:
+    """Per-config backend resolution under the ambient instrumentation.
+
+    The sanitizer and telemetry are enabled through the environment, and
+    checkpointing through the active cache context — exactly the signals
+    each worker's :func:`~repro.network.simulator.simulate` call would
+    see — so resolving here keeps the dispatch decision and the worker
+    behaviour consistent.
+    """
+    from repro.kernel.base import resolve_backend
+    from repro.telemetry.session import metrics_directory, trace_directory
+
+    sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    tracing = (
+        trace_directory() is not None or metrics_directory() is not None
+    )
+    checkpointing = (
+        context is not None
+        and context.checkpoint_every is not None
+        and context.checkpoint_dir is not None
+    )
+    return [
+        resolve_backend(
+            config,
+            backend,
+            sanitize=sanitize,
+            trace=tracing,
+            checkpoint=checkpointing,
+        )
+        for config in configs
+    ]
+
+
+def _mixed_backend_simulate(
+    configs: list["NetworkConfig"],
+    payloads: list[dict[str, Any]],
+    backends: list[str],
+    warmup_cycles: int,
+    measure_cycles: int,
+    jobs: int | None,
+) -> list["SimulationResult"]:
+    """Route a grid whose configs resolved to different backends.
+
+    The numpy subset is served from the cache where possible, with the
+    misses fused into batch kernels in this process; the reference
+    subset re-enters :func:`parallel_simulate` with the backend pinned,
+    keeping its pooling/checkpointing/caching behaviour untouched.
+    """
+    global _cycles_simulated
+    context = runtime.active()
+    cache = context.cache if context is not None else None
+    results: list[Any] = [None] * len(configs)
+    numpy_indices = [i for i, b in enumerate(backends) if b == "numpy"]
+    reference_indices = [i for i, b in enumerate(backends) if b != "numpy"]
+    keys: dict[int, Any] = {}
+    missed = numpy_indices
+    if cache is not None and context is not None:
+        keys = {
+            index: cache_key(
+                context.experiment, "simulation-result", payloads[index]
+            )
+            for index in numpy_indices
+        }
+        missed = []
+        for index in numpy_indices:
+            hit = cache.get(keys[index])
+            if hit is None:
+                missed.append(index)
+            else:
+                results[index] = hit
+    if missed:
+        _cycles_simulated += (warmup_cycles + measure_cycles) * len(missed)
+        fresh = _numpy_group_simulate(
+            [configs[i] for i in missed], warmup_cycles, measure_cycles
+        )
+        for index, result in zip(missed, fresh):
+            if cache is not None and context is not None:
+                cache.put(
+                    keys[index],
+                    context.experiment,
+                    "simulation-result",
+                    result,
+                )
+            results[index] = result
+    if reference_indices:
+        reference_results = parallel_simulate(
+            [configs[i] for i in reference_indices],
+            warmup_cycles,
+            measure_cycles,
+            jobs=jobs,
+            backend="reference",
+        )
+        for index, result in zip(reference_indices, reference_results):
+            results[index] = result
+    return results
+
+
+def _numpy_group_simulate(
+    configs: Sequence["NetworkConfig"],
+    warmup_cycles: int,
+    measure_cycles: int,
+) -> list["SimulationResult"]:
+    """Run configs on the numpy backend, fused into batch groups.
+
+    Structurally identical configs (:func:`~repro.kernel.numpy_kernel
+    .batch_group_key`) share one struct-of-arrays kernel, so the whole
+    group advances per cycle with the same array ops — that fusion, not
+    a process pool, is the numpy backend's parallelism.  Results come
+    back in input order, byte-identical to per-config runs.
+    """
+    from repro.kernel.numpy_kernel import NumpyKernel, batch_group_key
+
+    groups: dict[tuple[Any, ...], list[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(batch_group_key(config), []).append(index)
+    results: list[Any] = [None] * len(configs)
+    for indices in groups.values():
+        kernel = NumpyKernel.batch([configs[i] for i in indices])
+        for index, result in zip(
+            indices, kernel.run_batch(warmup_cycles, measure_cycles)
+        ):
+            results[index] = result
+    return results
+
+
 def parallel_simulate(
     configs: Sequence["NetworkConfig"],
     warmup_cycles: int = 2000,
     measure_cycles: int = 10000,
     jobs: int | None = 1,
+    backend: str | None = None,
 ) -> list["SimulationResult"]:
     """Simulate every config, in input order, over ``jobs`` processes.
 
@@ -284,6 +414,17 @@ def parallel_simulate(
     :func:`simulated_cycles`); with checkpointing configured, each
     simulation periodically checkpoints into the context's directory so
     a dead worker's replacement resumes instead of restarting.
+
+    ``backend`` forces a simulation backend for the whole grid; ``None``
+    honours the ``REPRO_BACKEND`` preference (see
+    :func:`repro.kernel.base.resolve_backend`).  Configs that resolve to
+    the numpy backend are fused into struct-of-arrays batch kernels and
+    run in this process — vectorization replaces the pool — while the
+    rest (unsupported configs under a soft preference, or everything
+    under active instrumentation) take the standard reference path.
+    Results are byte-identical either way, so the two routes share one
+    cache namespace: a result computed by either backend is a hit for
+    both.
     """
     configs = list(configs)
     payloads = [
@@ -295,6 +436,20 @@ def parallel_simulate(
         for config in configs
     ]
     context = runtime.active()
+    if backend is None and context is not None:
+        # The runner's --backend flag arrives ambiently, like the cache:
+        # experiments stay backend-oblivious (see CacheContext.backend).
+        backend = context.backend
+    backends = _resolve_backends(configs, backend, context)
+    if "numpy" in backends:
+        return _mixed_backend_simulate(
+            configs,
+            payloads,
+            backends,
+            warmup_cycles,
+            measure_cycles,
+            jobs,
+        )
     tasks: list[tuple[Any, ...]]
     if (
         context is not None
@@ -304,7 +459,7 @@ def parallel_simulate(
         directory = context.checkpoint_dir
         tasks = []
         for config, payload in zip(configs, payloads):
-            stamp = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+            stamp = digest_json(payload)
             tasks.append(
                 (
                     config,

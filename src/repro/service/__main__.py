@@ -115,6 +115,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full fidelity (default: quick)"
     )
     submit_cmd.add_argument(
+        "--backend",
+        choices=["reference", "numpy"],
+        default=None,
+        help="force the job's simulation backend (results are "
+        "byte-identical; numpy vectorizes the simulation grids)",
+    )
+    submit_cmd.add_argument(
         "--no-wait",
         action="store_true",
         help="return the job id immediately instead of the result",
@@ -175,6 +182,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             quick=not args.full,
             seed=args.seed,
             wait=not args.no_wait,
+            backend=args.backend,
         )
     except OSError as error:
         print(

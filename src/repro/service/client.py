@@ -92,18 +92,23 @@ class ServiceClient:
         seed: int = 1988,
         wait: bool = True,
         retry_key: str | None = None,
+        backend: str | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Submit a job; on 429, back off per ``CLIENT_RETRY`` and retry.
 
         ``retry_key`` seeds the deterministic retry jitter (defaults to
-        the spec itself).
+        the spec itself).  ``backend`` forces the job's simulation
+        backend (results are byte-identical either way, so jobs
+        differing only in backend still coalesce server-side).
         """
-        payload = {
+        payload: dict[str, Any] = {
             "experiment": experiment,
             "quick": quick,
             "seed": seed,
             "wait": wait,
         }
+        if backend is not None:
+            payload["backend"] = backend
         key = retry_key or f"{experiment}/{seed}"
         attempt = 0
         while True:

@@ -33,13 +33,13 @@ client can always tell what it got.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cache.keys import cache_key, canonical_json
+from repro.cache.keys import cache_key
+from repro.utils.digest import digest_json
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -59,11 +59,20 @@ DEGRADATION_LADDER = ("fresh", "cached", "stale", "analytic")
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One experiment request: which experiment, at what fidelity, what seed."""
+    """One experiment request: which experiment, at what fidelity, what seed.
+
+    ``backend`` optionally forces a simulation backend for the job
+    (``"reference"``/``"numpy"``); ``None`` lets the worker's ambient
+    ``REPRO_BACKEND`` preference apply.  Because both backends produce
+    byte-identical results, the backend is deliberately **excluded**
+    from the spec's canonical payload — a numpy job and a reference job
+    for the same experiment coalesce to one cache entry.
+    """
 
     experiment: str
     quick: bool = True
     seed: int = 1988
+    backend: str | None = None
 
     @classmethod
     def from_payload(cls, payload: Any) -> "JobSpec":
@@ -73,6 +82,7 @@ class JobSpec:
         server maps that to a 400, never a 500.
         """
         from repro.experiments.runner import EXPERIMENTS
+        from repro.kernel.base import normalize_backend
 
         if not isinstance(payload, dict):
             raise ConfigurationError("job payload must be a JSON object")
@@ -91,15 +101,33 @@ class JobSpec:
         seed = payload.get("seed", 1988)
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise ConfigurationError("'seed' must be an integer")
-        unknown = set(payload) - {"experiment", "quick", "seed", "wait"}
+        backend = payload.get("backend")
+        if backend is not None:
+            if not isinstance(backend, str):
+                raise ConfigurationError("'backend' must be a string")
+            backend = normalize_backend(backend)
+        unknown = set(payload) - {
+            "experiment",
+            "quick",
+            "seed",
+            "backend",
+            "wait",
+        }
         if unknown:
             raise ConfigurationError(
                 f"unknown job fields: {sorted(unknown)}"
             )
-        return cls(experiment=experiment, quick=quick, seed=seed)
+        return cls(
+            experiment=experiment, quick=quick, seed=seed, backend=backend
+        )
 
     def payload(self) -> dict[str, Any]:
-        """The canonical JSON-able description of this spec."""
+        """The canonical JSON-able description of this spec.
+
+        The backend is not part of the canonical payload: results are
+        byte-identical across backends, so requests differing only in
+        backend deduplicate to one job and one cache entry.
+        """
         return {
             "experiment": self.experiment,
             "quick": self.quick,
@@ -121,9 +149,7 @@ class JobSpec:
         Used by the stale rung of the degradation ladder: "the last
         result anyone computed for this request, under any source tree".
         """
-        return hashlib.sha256(
-            canonical_json(self.payload()).encode()
-        ).hexdigest()
+        return digest_json(self.payload())
 
 
 _JOB_IDS = itertools.count(1)

@@ -419,6 +419,7 @@ class SimulationService:
                 checkpoint_every=self.config.checkpoint_every,
                 checkpoint_dir=self._checkpoint_dir,
                 dispatcher=dispatcher,
+                backend=spec.backend,
             )
         except Exception as exc:
             self.breaker.record_failure()

@@ -1,0 +1,49 @@
+"""Canonical content digests shared across the repo.
+
+Several subsystems need a stable content address for a JSON-able
+document: the result cache keys its blobs, the service deduplicates job
+specs, checkpoint files stamp the payload they belong to, and the
+kernel differential harness compares packed simulator states between
+backends.  Before this module each site hand-rolled the same
+``sha256(canonical_json(...))`` pattern; now they share one helper so
+the encoding (sorted keys, fixed separators, UTF-8) can never drift
+between them.
+
+``canonical_json`` lives here — the bottom of the dependency stack —
+and is re-exported by :mod:`repro.cache.keys` for its historical
+import site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "digest_json", "digest_text"]
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical JSON string.
+
+    Sorted keys and fixed separators make the encoding independent of
+    dict insertion order; Python's ``repr``-based float formatting makes
+    it exact (two floats encode identically iff they are the same
+    value).
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def digest_text(text: str) -> str:
+    """SHA-256 hex digest of ``text`` encoded as UTF-8."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def digest_json(document: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``document``.
+
+    The content address used for cache blobs, service job dedup,
+    checkpoint stamps and kernel state digests: two documents share a
+    digest iff their canonical JSON encodings are byte-identical.
+    """
+    return digest_text(canonical_json(document))

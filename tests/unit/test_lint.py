@@ -131,6 +131,48 @@ class TestRep002WallClock:
         ) == []
 
 
+class TestKernelPackageScoping:
+    """``repro.kernel`` is a simulation package: the vectorized backend
+    must obey the same determinism contract as the scalar simulator."""
+
+    KERNEL = dict(
+        module="repro.kernel.numpy_kernel",
+        path="src/repro/kernel/numpy_kernel.py",
+    )
+
+    def test_direct_numpy_random_in_kernel_is_flagged(self):
+        assert codes(
+            """
+            import numpy as np
+            noise = np.random.random(64)
+            """,
+            **self.KERNEL,
+        ) == ["REP001"]
+
+    def test_wall_clock_in_kernel_is_rep002(self):
+        assert codes(
+            """
+            import time
+            start = time.perf_counter()
+            """,
+            **self.KERNEL,
+        ) == ["REP002"]
+
+    def test_set_iteration_in_kernel_is_rep003(self):
+        assert codes(
+            """
+            for stage in set(stages):
+                advance(stage)
+            """,
+            **self.KERNEL,
+        ) == ["REP003"]
+
+    def test_kernel_is_in_simulation_packages(self):
+        from repro.analysis.lint import SIMULATION_PACKAGES
+
+        assert "repro.kernel" in SIMULATION_PACKAGES
+
+
 class TestRep003SetIteration:
     def test_flags_for_over_set_call(self):
         assert codes(

@@ -151,6 +151,41 @@ class TestHarness:
         full = {"schema": BENCH_SCHEMA, "mode": "full", "experiments": {}}
         assert "mode mismatch" in compare_to_baseline(quick, full)[0]
 
+    def test_compare_rejects_backend_mismatch(self):
+        numpy_doc = {
+            "schema": BENCH_SCHEMA,
+            "mode": "quick",
+            "backend": "numpy",
+            "experiments": {},
+        }
+        reference = {
+            "schema": BENCH_SCHEMA,
+            "mode": "quick",
+            "backend": "reference",
+            "experiments": {},
+        }
+        failures = compare_to_baseline(numpy_doc, reference)
+        assert failures and "backend mismatch" in failures[0]
+
+    def test_schema_v1_baseline_reads_as_reference_backend(self, tmp_path):
+        # Pre-backend benchmark files (schema 1, no backend field) must
+        # stay loadable and compare cleanly against a reference run.
+        v1 = {
+            "schema": 1,
+            "mode": "quick",
+            "experiments": {"a": {"wall_s": 1.0, "cycles_per_s": 10.0, "jobs": 1}},
+        }
+        path = tmp_path / "BENCH_v1.json"
+        path.write_text(json.dumps(v1))
+        baseline = load_bench(path)
+        current = {
+            "schema": BENCH_SCHEMA,
+            "mode": "quick",
+            "backend": "reference",
+            "experiments": {"a": {"wall_s": 1.1, "cycles_per_s": 9.0, "jobs": 1}},
+        }
+        assert compare_to_baseline(current, baseline, max_regression=3.0) == []
+
     def test_invalid_max_regression_rejected(self):
         quick = {"schema": BENCH_SCHEMA, "mode": "quick", "experiments": {}}
         with pytest.raises(ConfigurationError):

@@ -62,6 +62,32 @@ class TestJobSpec:
             != JobSpec(experiment="table2", seed=3).stale_key()
         )
 
+    def test_backend_field_parses_and_normalizes(self):
+        spec = JobSpec.from_payload(
+            {"experiment": "table1", "backend": "numpy"}
+        )
+        assert spec.backend == "numpy"
+        assert JobSpec.from_payload({"experiment": "table1"}).backend is None
+
+    @pytest.mark.parametrize("backend", ["cuda", 7, ""])
+    def test_bad_backend_rejected(self, backend):
+        with pytest.raises(ConfigurationError):
+            JobSpec.from_payload(
+                {"experiment": "table1", "backend": backend}
+            )
+
+    def test_backend_excluded_from_canonical_payload_and_key(self):
+        # Backends produce byte-identical results, so jobs differing only
+        # in backend must coalesce: same payload, same key, same stale key.
+        plain = JobSpec.from_payload({"experiment": "table3", "quick": True})
+        forced = JobSpec.from_payload(
+            {"experiment": "table3", "quick": True, "backend": "numpy"}
+        )
+        assert forced.payload() == plain.payload()
+        assert "backend" not in forced.payload()
+        assert forced.key() == plain.key()
+        assert forced.stale_key() == plain.stale_key()
+
 
 class TestJobRecord:
     def test_describe_minimal_while_queued(self):
