@@ -118,6 +118,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
         verify_buffer,
         verify_dominance,
         verify_fifo_refinement,
+        verify_starvation,
         verify_switch,
     )
     from repro.core.registry import PAPER_ORDER
@@ -134,11 +135,19 @@ def _cmd_model(args: argparse.Namespace) -> int:
         print(f"self-test: all {len(results)} planted bugs detected")
         return 0
 
-    kinds = (
-        list(PAPER_ORDER)
-        if args.buffer.lower() == "all"
-        else [args.buffer.upper()]
-    )
+    requested = args.buffer.lower()
+    if requested == "all":
+        kinds = list(PAPER_ORDER)
+    elif requested == "arch":
+        from repro.arch import ARCH_ORDER
+
+        kinds = list(ARCH_ORDER)
+    else:
+        kinds = [
+            kind.strip().upper()
+            for kind in args.buffer.split(",")
+            if kind.strip()
+        ]
     failures = 0
     results = []
     try:
@@ -164,6 +173,17 @@ def _cmd_model(args: argparse.Namespace) -> int:
                         protocol=args.protocol,
                         exact_layout=False,
                         check_arbiter=not args.no_arbiter_check,
+                        max_states=args.max_states,
+                        max_depth=args.max_depth,
+                    )
+                )
+        if args.starvation:
+            for kind in kinds:
+                results.append(
+                    verify_starvation(
+                        kind,
+                        args.slots,
+                        args.ports,
                         max_states=args.max_states,
                         max_depth=args.max_depth,
                     )
@@ -266,7 +286,9 @@ def main(argv: list[str] | None = None) -> int:
     model_parser.add_argument(
         "--buffer",
         default="all",
-        help="buffer kind to check, or 'all' (default)",
+        help="buffer kind(s) to check, comma-separated; 'all' = the four "
+        "paper buffers (default), 'arch' = the repro.arch zoo "
+        "(DAMQ-RSV, CQ)",
     )
     model_parser.add_argument(
         "--ports",
@@ -308,6 +330,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     model_parser.add_argument(
         "--max-depth", type=int, default=None, help="depth bound"
+    )
+    model_parser.add_argument(
+        "--starvation",
+        action="store_true",
+        help="also check the no-starvation property on each selected kind "
+        "(plain DAMQ and FIFO violate it by design; the reserved-slot "
+        "and partitioned architectures must pass)",
     )
     model_parser.add_argument(
         "--skip-refinements",

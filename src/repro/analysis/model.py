@@ -80,6 +80,7 @@ from repro.errors import (
     BufferFullError,
     ConfigurationError,
     FaultError,
+    InvariantError,
     ReproError,
     SimulationError,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "ModelCheckResult",
     "MutationResult",
     "MUTATIONS",
+    "StarvationSystem",
     "SwitchSystem",
     "build_system",
     "cross_validate",
@@ -98,6 +100,7 @@ __all__ = [
     "verify_buffer",
     "verify_dominance",
     "verify_fifo_refinement",
+    "verify_starvation",
     "verify_switch",
 ]
 
@@ -436,6 +439,170 @@ class BufferSystem:
             buffer.canonical_state() if self.exact_layout else spec.key()
         )
         return key, (buffer.snapshot_state(), spec)
+
+
+# ----------------------------------------------------------------------
+# No-starvation transition system
+# ----------------------------------------------------------------------
+
+
+class StarvationSystem:
+    """Every output below its slot quota must still be accepting.
+
+    The liveness gap in plain DAMQ's dynamic sharing: one hot output can
+    absorb the entire slot pool, after which arrivals for *every other*
+    output are rejected even though those outputs hold nothing — the
+    single-hot-output starvation the reserved-slot variant
+    (arXiv 0910.1852) exists to cure.  Expressed as a safety property
+    over reachable states: in no reachable state may an output holding
+    fewer than ``quota`` packets have its arrivals rejected.  Plain DAMQ
+    violates it within ``capacity`` steps (fill one queue, offer another
+    output); :class:`~repro.arch.damq_reserved.DamqReservedBuffer` with
+    ``reserved >= quota`` satisfies it exhaustively, and the statically
+    partitioned architectures satisfy it trivially.
+
+    Unlike :class:`BufferSystem` this system drives the implementation
+    alone (no lockstep spec): the property quantifies over the
+    implementation's own acceptance surface.
+    """
+
+    name = "starvation"
+
+    def __init__(
+        self,
+        kind: str,
+        capacity: int,
+        num_outputs: int,
+        *,
+        quota: int | None = None,
+    ) -> None:
+        self.kind = kind.upper()
+        self.capacity = capacity
+        self.num_outputs = num_outputs
+        probe = make_buffer(self.kind, capacity, num_outputs)
+        # Default quota: the buffer's own reservation, where it has one.
+        self.quota = quota if quota is not None else getattr(probe, "reserved", 1)
+        if self.quota < 1:
+            raise ConfigurationError(
+                f"starvation quota must be at least 1, got {self.quota}"
+            )
+        # Scratch instance, re-restored from snapshots per action.
+        self._scratch = make_buffer(self.kind, capacity, num_outputs)
+
+    def config(self) -> dict[str, Any]:
+        return {
+            "system": self.name,
+            "kind": self.kind,
+            "capacity": self.capacity,
+            "num_outputs": self.num_outputs,
+            "quota": self.quota,
+        }
+
+    # -- engine interface ----------------------------------------------
+
+    def initial(self) -> tuple[Hashable, Any]:
+        buffer = make_buffer(self.kind, self.capacity, self.num_outputs)
+        self._check_property(buffer, None)
+        return self._key(buffer), buffer.snapshot_state()
+
+    def successors(
+        self, payload: Any
+    ) -> Iterator[tuple[Action, Hashable, Any]]:
+        self.probe(payload)
+        for action in self.enumerate_actions(payload):
+            yield (action, *self.apply(payload, action))
+
+    def enumerate_actions(self, payload: Any) -> list[Action]:
+        buffer = self._restore(payload)
+        actions: list[Action] = []
+        for destination in range(self.num_outputs):
+            if buffer.can_accept(destination):
+                actions.append(("arrive", destination))
+            if buffer.peek(destination) is not None:
+                actions.append(("depart", destination))
+        return actions
+
+    def probe(self, payload: Any) -> None:
+        """Re-check the no-starvation property (pure, state unchanged)."""
+        self._check_property(self._restore(payload), None)
+
+    def apply(self, payload: Any, action: Action) -> tuple[Hashable, Any]:
+        buffer = self._restore(payload)
+        name = action[0]
+        if name == "arrive":
+            destination = int(action[1])
+            # Fresh id above every resident packet: ids must be unique
+            # among co-resident packets (the buffers' own invariants
+            # count unique ids), and canonical_state() excludes them.
+            next_id = 1 + max(
+                (packet.packet_id for packet in buffer.packets()),
+                default=-1,
+            )
+            try:
+                buffer.push(_packet(next_id, destination), destination)
+            except ReproError as error:
+                raise _raise(
+                    "unexpected-reject",
+                    f"push to output {destination} raised "
+                    f"{type(error).__name__}: {error}",
+                    self.kind,
+                    action,
+                ) from error
+        elif name == "depart":
+            destination = int(action[1])
+            try:
+                buffer.pop(destination)
+            except ReproError as error:
+                raise _raise(
+                    "unexpected-empty",
+                    f"pop({destination}) raised {type(error).__name__} "
+                    f"with a queued packet",
+                    self.kind,
+                    action,
+                ) from error
+        else:
+            raise ConfigurationError(f"unknown action {action!r}")
+        self._check_property(buffer, action)
+        return self._key(buffer), buffer.snapshot_state()
+
+    # -- internals ------------------------------------------------------
+
+    def _key(self, buffer: SwitchBuffer) -> Hashable:
+        # The property, the enabled actions and their effects all depend
+        # only on the per-output queue lengths (size-1 packets, no
+        # retirement actions), so states are quotiented on them: physical
+        # slot threadings with equal lengths have isomorphic futures
+        # (the same slot-renaming symmetry argument as collapse layout).
+        return (
+            buffer.kind,
+            buffer.retired_count,
+            tuple(buffer.queue_lengths()),
+        )
+
+    def _restore(self, snapshot: dict[str, Any]) -> SwitchBuffer:
+        self._scratch.restore_state(snapshot)
+        return self._scratch
+
+    def _check_property(
+        self, buffer: SwitchBuffer, action: Action | None
+    ) -> None:
+        for destination in range(self.num_outputs):
+            held = buffer.queue_length(destination)
+            if held < self.quota and not buffer.can_accept(destination):
+                raise _raise(
+                    "starvation",
+                    f"output {destination} holds {held} packet(s), below "
+                    f"its quota of {self.quota}, yet a new arrival is "
+                    f"rejected (lengths "
+                    f"{list(buffer.queue_lengths())}, occupancy "
+                    f"{buffer.occupancy}/{buffer.effective_capacity})",
+                    self.kind,
+                    action,
+                )
+        try:
+            buffer.check_invariants()
+        except InvariantError as error:
+            raise _raise("invariants", str(error), self.kind, action) from error
 
 
 # ----------------------------------------------------------------------
@@ -1175,6 +1342,13 @@ def build_system(config: dict[str, Any]) -> ModelSystem:
             exact_layout=config.get("exact_layout", False),
             check_arbiter=config.get("check_arbiter", True),
         )
+    if name == "starvation":
+        return StarvationSystem(
+            config["kind"],
+            config["capacity"],
+            config["num_outputs"],
+            quota=config.get("quota"),
+        )
     if name == "refinement-fifo":
         return FifoRefinementSystem(
             config["capacity"], config["num_outputs"]
@@ -1303,6 +1477,22 @@ def verify_switch(
         exact_layout=exact_layout,
         check_arbiter=check_arbiter,
     )
+    return _run(system, max_states=max_states, max_depth=max_depth)
+
+
+def verify_starvation(
+    kind: str,
+    capacity: int,
+    num_outputs: int = 2,
+    *,
+    quota: int | None = None,
+    max_states: int | None = None,
+    max_depth: int | None = None,
+) -> ModelCheckResult:
+    """No reachable state starves a below-quota output (see
+    :class:`StarvationSystem`).  Plain DAMQ fails this; the reserved-slot
+    variant and the partitioned architectures pass it."""
+    system = StarvationSystem(kind, capacity, num_outputs, quota=quota)
     return _run(system, max_states=max_states, max_depth=max_depth)
 
 

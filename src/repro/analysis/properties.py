@@ -416,11 +416,95 @@ class SpecShared(_MultiQueueSpec):
         return duplicate
 
 
+class SpecCrosspoint(SpecPartitioned):
+    """CQ: dedicated per-crosspoint FIFOs, one read port per crosspoint.
+
+    The slot algebra is SAMQ's (static partitioning); the read capability
+    is SAFC's (every queue drainable in the same cycle).  What differs is
+    the scheduling discipline around it, which the buffer specification
+    does not model.
+    """
+
+    kind = "CQ"
+
+    def __init__(self, capacity: int, num_outputs: int) -> None:
+        super().__init__(capacity, num_outputs)
+        self.max_serves = num_outputs
+
+
+class SpecDamqReserved(_MultiQueueSpec):
+    """DAMQ-RSV: dynamic sharing of the residual pool over per-output quotas.
+
+    Mirrors :class:`repro.arch.damq_reserved.DamqReservedBuffer` with the
+    default one-slot reservation: each output may always fill ``reserved``
+    slots; demand beyond the quota is charged to a shared pool of
+    ``capacity - num_outputs * reserved`` slots, shrunk by retirement.
+    """
+
+    kind = "DAMQ-RSV"
+
+    def __init__(
+        self, capacity: int, num_outputs: int, reserved: int = 1
+    ) -> None:
+        super().__init__(capacity, num_outputs)
+        if capacity < num_outputs * reserved:
+            raise ConfigurationError(
+                f"capacity {capacity} cannot reserve {reserved} slot(s) for "
+                f"each of {num_outputs} outputs"
+            )
+        self.reserved = reserved
+        self._retired = 0
+
+    @property
+    def _shared_capacity(self) -> int:
+        return self.capacity - self.num_outputs * self.reserved - self._retired
+
+    @property
+    def _shared_used(self) -> int:
+        quota = self.reserved
+        return sum(max(0, len(queue) - quota) for queue in self._queues)
+
+    def can_accept(self, destination: int) -> bool:
+        length = len(self._queues[destination])
+        quota = self.reserved
+        delta = max(0, length + 1 - quota) - max(0, length - quota)
+        return self._shared_used + delta <= self._shared_capacity
+
+    @property
+    def retired_count(self) -> int:
+        return self._retired
+
+    def can_retire(self) -> bool:
+        # DamqReservedBuffer.retire_slot: the shared pool must have a
+        # spare slot (which also implies the underlying free list does).
+        return self._shared_capacity - self._shared_used >= 1
+
+    def retire(self) -> None:
+        self._retired += 1
+
+    def key(self) -> tuple[Any, ...]:
+        return (
+            self.kind,
+            self._retired,
+            tuple(len(queue) for queue in self._queues),
+        )
+
+    def copy(self) -> "SpecDamqReserved":
+        duplicate = SpecDamqReserved(
+            self.capacity, self.num_outputs, self.reserved
+        )
+        self._copy_queues_into(duplicate)
+        duplicate._retired = self._retired
+        return duplicate
+
+
 _SPEC_TYPES: dict[str, type[SpecBuffer]] = {
     "FIFO": SpecFifo,
     "SAMQ": SpecPartitioned,
     "SAFC": SpecSafc,
     "DAMQ": SpecShared,
+    "DAMQ-RSV": SpecDamqReserved,
+    "CQ": SpecCrosspoint,
 }
 
 

@@ -52,6 +52,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.arch.crosspoint import CrosspointBuffer
+from repro.arch.damq_reserved import DamqReservedBuffer
 from repro.core.buffer import SwitchBuffer
 from repro.core.damq import DamqBuffer
 from repro.core.fifo import FifoBuffer
@@ -65,7 +67,9 @@ from repro.network.simulator import NetworkConfig, OmegaNetworkSimulator
 
 __all__ = [
     "HardwareSanitizer",
+    "SanitizedCrosspointBuffer",
     "SanitizedDamqBuffer",
+    "SanitizedDamqReservedBuffer",
     "SanitizedFifoBuffer",
     "SanitizedOmegaNetworkSimulator",
     "SanitizedSafcBuffer",
@@ -588,12 +592,45 @@ class SanitizedDamqBuffer(DamqBuffer, _PortAccounting):
         return packet
 
 
+class SanitizedDamqReservedBuffer(DamqReservedBuffer, _PortAccounting):
+    """Reserved-slot DAMQ with port accounting and a sanitized slot manager.
+
+    The inherited ``isinstance(buffer, DamqBuffer)`` adoption path also
+    wraps its (plain) :class:`SlotListManager`, so the pointer-RAM checks
+    cover the reserved variant for free.
+    """
+
+    def push(self, packet: Packet, destination: int) -> None:
+        super().push(packet, destination)
+        self._san_after_push(packet, destination)
+
+    def pop(self, destination: int) -> Packet:
+        packet = super().pop(destination)
+        self._san_after_pop(packet, destination)
+        return packet
+
+
+class SanitizedCrosspointBuffer(CrosspointBuffer, _PortAccounting):
+    """CQ buffer with port accounting (one read port per crosspoint)."""
+
+    def push(self, packet: Packet, destination: int) -> None:
+        super().push(packet, destination)
+        self._san_after_push(packet, destination)
+
+    def pop(self, destination: int) -> Packet:
+        packet = super().pop(destination)
+        self._san_after_pop(packet, destination)
+        return packet
+
+
 #: Plain class -> sanitized subclass, for ``__class__`` adoption.
 _SANITIZED_BUFFER_CLASSES: dict[type[SwitchBuffer], type[SwitchBuffer]] = {
     FifoBuffer: SanitizedFifoBuffer,
     SamqBuffer: SanitizedSamqBuffer,
     SafcBuffer: SanitizedSafcBuffer,
     DamqBuffer: SanitizedDamqBuffer,
+    DamqReservedBuffer: SanitizedDamqReservedBuffer,
+    CrosspointBuffer: SanitizedCrosspointBuffer,
 }
 
 

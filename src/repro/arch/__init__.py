@@ -1,0 +1,77 @@
+"""The architecture zoo: switch designs from the paper's descendants.
+
+The paper's DAMQ line continued for decades; this package reproduces
+three successors on top of the existing rails (simulator, faults,
+sanitizer, telemetry, checkpoints, model checker):
+
+* :class:`~repro.arch.crosspoint.CrosspointBuffer` ("CQ") — dedicated
+  per-crosspoint FIFOs (arXiv 1403.2098), paired with the per-output
+  :class:`~repro.arch.schedulers.CrosspointScheduler` (longest queue
+  first, or round robin).
+* :class:`~repro.arch.damq_reserved.DamqReservedBuffer` ("DAMQ-RSV") —
+  DAMQ with per-output reserved slots (arXiv 0910.1852), curing DAMQ's
+  single-hot-output starvation while keeping dynamic sharing of the
+  residual pool.
+* :class:`~repro.arch.schedulers.IterativeScheduler` ("islip1",
+  "islip2"/"islip", "islip4") — distributed request–grant–accept
+  matching (arXiv 1112.4214 lineage) replacing the central arbiter.
+
+Importing this package registers the buffers in
+:data:`repro.core.registry.BUFFER_TYPES` and the schedulers in
+:data:`repro.switch.scheduler.SCHEDULER_TYPES`; both registries also
+import it lazily on a lookup miss, so naming an architecture anywhere
+("CQ" in a :class:`~repro.network.simulator.NetworkConfig`, "lqf" as an
+arbiter kind) just works.  Registration is idempotent.
+"""
+
+from __future__ import annotations
+
+from repro.arch.crosspoint import CrosspointBuffer
+from repro.arch.damq_reserved import DamqReservedBuffer
+from repro.arch.schedulers import CrosspointScheduler, IterativeScheduler
+from repro.core.registry import register_buffer_type
+from repro.switch.scheduler import (
+    Scheduler,
+    SchedulerFactory,
+    register_scheduler,
+)
+
+__all__ = [
+    "ARCH_ORDER",
+    "ARCH_SCHEDULERS",
+    "CrosspointBuffer",
+    "CrosspointScheduler",
+    "DamqReservedBuffer",
+    "IterativeScheduler",
+]
+
+#: Report/sweep order for the zoo's buffers (appended after PAPER_ORDER).
+ARCH_ORDER = ("DAMQ-RSV", "CQ")
+
+#: Scheduler kinds this package registers.
+ARCH_SCHEDULERS = ("lqf", "rr", "islip", "islip1", "islip2", "islip4")
+
+
+def _make_lqf(num_inputs: int, num_outputs: int) -> Scheduler:
+    return CrosspointScheduler(num_inputs, num_outputs, policy="lqf")
+
+
+def _make_rr(num_inputs: int, num_outputs: int) -> Scheduler:
+    return CrosspointScheduler(num_inputs, num_outputs, policy="rr")
+
+
+def _make_islip(iterations: int) -> SchedulerFactory:
+    def factory(num_inputs: int, num_outputs: int) -> Scheduler:
+        return IterativeScheduler(num_inputs, num_outputs, iterations=iterations)
+
+    return factory
+
+
+register_buffer_type("DAMQ-RSV", DamqReservedBuffer)
+register_buffer_type("CQ", CrosspointBuffer)
+register_scheduler("lqf", _make_lqf)
+register_scheduler("rr", _make_rr)
+register_scheduler("islip", _make_islip(2))
+register_scheduler("islip1", _make_islip(1))
+register_scheduler("islip2", _make_islip(2))
+register_scheduler("islip4", _make_islip(4))

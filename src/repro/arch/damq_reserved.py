@@ -1,0 +1,198 @@
+"""DAMQ with per-output reserved slots (arXiv 0910.1852 scheme).
+
+Plain DAMQ shares every slot dynamically, which is exactly what makes it
+vulnerable to a single hot output: one congested queue can absorb the
+whole buffer and starve every other output (the bounded model checker
+exhibits a minimal trace — see the ``starvation`` property in
+``repro.analysis.model``).  The NoC remedy is to *reserve* a small quota
+of slots per output and share only the residual pool:
+
+* each output is guaranteed ``reserved`` slots it can always fill;
+* slot demand beyond the quota draws from a shared pool of
+  ``capacity - num_outputs * reserved`` slots, preserving DAMQ's
+  dynamic-sharing win under balanced traffic.
+
+The implementation keeps :class:`~repro.core.damq.DamqBuffer`'s
+hardware-faithful linked-list slot storage untouched (the pointer RAM,
+free list and retirement machinery are inherited) and adds one register,
+``_shared_used`` — the number of occupied slots charged to the shared
+pool — maintained incrementally on push/pop exactly as a hardware
+occupancy counter would be.
+
+Accounting (all in slots; a size-``s`` packet occupies ``s`` slots):
+
+``used(o)``
+    slots held by output ``o`` = ``self._lists.length(o)``.
+``shared_used``
+    ``sum(max(0, used(o) - reserved) for o)``.
+``shared_capacity``
+    ``capacity - num_outputs * reserved - retired_count``.  Retired
+    (faulted) slots are charged to the shared pool so the per-output
+    guarantee survives slot retirement; retirement is refused once the
+    pool is exhausted.
+
+A push of size ``s`` to output ``o`` is accepted iff the *increase* in
+shared usage fits the pool.  Because total occupancy is
+``sum(used) <= num_outputs * reserved + shared_used``, acceptance implies
+enough free slots exist in the underlying free list — the reservation
+check is strictly stronger than DAMQ's own, so the inherited ``push``
+never raises once the check passes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.damq import DamqBuffer
+from repro.core.packet import Packet
+from repro.errors import (
+    BufferFullError,
+    ConfigurationError,
+    FaultError,
+    InvariantError,
+)
+
+__all__ = ["DamqReservedBuffer"]
+
+
+class DamqReservedBuffer(DamqBuffer):
+    """Dynamically-allocated multi-queue buffer with per-output reservations.
+
+    Parameters
+    ----------
+    capacity:
+        Total slots, shared plus reserved.
+    num_outputs:
+        Output ports; each gets a ``reserved`` slot quota.
+    reserved:
+        Slots guaranteed per output (default 1, the scheme's minimum —
+        enough to cure single-hot-output starvation).
+    """
+
+    kind = "DAMQ-RSV"
+
+    def __init__(self, capacity: int, num_outputs: int, reserved: int = 1) -> None:
+        if reserved < 1:
+            raise ConfigurationError(
+                f"reserved quota must be at least 1 slot, got {reserved}"
+            )
+        if capacity < num_outputs * reserved:
+            raise ConfigurationError(
+                f"capacity {capacity} cannot reserve {reserved} slot(s) for "
+                f"each of {num_outputs} outputs"
+            )
+        super().__init__(capacity, num_outputs)
+        self.reserved = reserved
+        # Occupied slots charged to the shared pool (beyond each output's
+        # quota), maintained incrementally on push/pop.
+        self._shared_used = 0
+
+    # ------------------------------------------------------------------
+    # Reservation accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def shared_capacity(self) -> int:
+        """Slots in the shared pool (total minus quotas minus retired)."""
+        return self.capacity - self.num_outputs * self.reserved - self.retired_count
+
+    @property
+    def shared_used(self) -> int:
+        """Occupied slots currently charged to the shared pool."""
+        return self._shared_used
+
+    def _shared_delta(self, destination: int, size: int) -> int:
+        """Extra shared-pool slots a size-``size`` push to ``destination`` needs."""
+        used = self._lists.length(destination)
+        quota = self.reserved
+        return max(0, used + size - quota) - max(0, used - quota)
+
+    # ------------------------------------------------------------------
+    # SwitchBuffer interface (deltas over DamqBuffer)
+    # ------------------------------------------------------------------
+
+    def can_accept(self, destination: int, size: int = 1) -> bool:
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
+        return (
+            self._shared_used + self._shared_delta(destination, size)
+            <= self.shared_capacity
+        )
+
+    def push(self, packet: Packet, destination: int) -> None:
+        # Check the reservation rule before any mutation: a rejected push
+        # must leave the buffer byte-identical (the model checker probes
+        # this), and the inherited DAMQ push would otherwise accept any
+        # packet that fits the raw free list.
+        if not 0 <= destination < self.num_outputs:
+            self._check_output(destination)
+        delta = self._shared_delta(destination, packet.size)
+        if self._shared_used + delta > self.shared_capacity:
+            raise BufferFullError(
+                f"{self.kind} shared pool full "
+                f"({self._shared_used}/{self.shared_capacity} shared slots "
+                f"used; output {destination} is past its {self.reserved}-slot "
+                f"reservation)"
+            )
+        super().push(packet, destination)
+        self._shared_used += delta
+
+    def pop(self, destination: int) -> Packet:
+        used_before = self._lists.length(destination)
+        packet = super().pop(destination)
+        used_after = used_before - packet.size
+        quota = self.reserved
+        self._shared_used -= max(0, used_before - quota) - max(0, used_after - quota)
+        return packet
+
+    def retire_slot(self) -> None:
+        """Retire one free slot, charging it to the shared pool.
+
+        Refuses (``FaultError``) when the shared pool has no spare slot:
+        retiring then would eat into some output's reservation and void
+        the no-starvation guarantee.  When the check passes, the pool
+        also guarantees the inherited free-list preconditions (a free
+        slot exists and more than one usable slot remains).
+        """
+        if self.shared_capacity - self._shared_used < 1:
+            raise FaultError(
+                f"{self.kind} cannot retire a slot: the shared pool "
+                f"({self._shared_used}/{self.shared_capacity} used) has no "
+                f"spare slot, and retiring would break an output's "
+                f"{self.reserved}-slot reservation"
+            )
+        super().retire_slot()
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        super().restore_state(state)
+        quota = self.reserved
+        self._shared_used = sum(
+            max(0, self._lists.length(out) - quota)
+            for out in range(self.num_outputs)
+        )
+
+    # ------------------------------------------------------------------
+    # Structural invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        quota = self.reserved
+        expected = sum(
+            max(0, self._lists.length(out) - quota)
+            for out in range(self.num_outputs)
+        )
+        if self._shared_used != expected:
+            raise InvariantError(
+                f"{self.kind} shared-pool register drifted: "
+                f"{self._shared_used} != recomputed {expected}"
+            )
+        if self._shared_used > self.shared_capacity:
+            raise InvariantError(
+                f"{self.kind} shared pool overcommitted: "
+                f"{self._shared_used} > {self.shared_capacity}"
+            )

@@ -1,0 +1,255 @@
+"""Distributed schedulers for the architecture zoo.
+
+Two families, both implementing :class:`repro.switch.scheduler.Scheduler`:
+
+* :class:`CrosspointScheduler` — the CQ switch's per-output arbiters
+  (arXiv 1403.2098): every output independently drains one crosspoint
+  per cycle, choosing by **longest queue first** (``lqf``) or **round
+  robin** (``rr``).  There is no central sequential scan; outputs never
+  contend because each picks from its own column of crosspoints.
+
+* :class:`IterativeScheduler` — request–grant–accept matching in the
+  iSLIP style (arXiv 1112.4214 lineage): inputs request every output
+  they hold packets for; unmatched outputs grant to the nearest
+  requesting input at/after a per-output grant pointer; inputs accept
+  the nearest granting output at/after a per-input accept pointer.  The
+  round repeats for a configurable number of iterations, and — the
+  no-starvation rule — pointers advance only for matches made in the
+  first iteration.
+
+Both are deterministic functions of their pointer state and the offered
+queues, checkpointable via ``snapshot_state``/``restore_state``, and
+honour per-buffer read-port budgets (``max_reads_per_cycle``) so they
+compose with any registered buffer architecture.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError
+from repro.switch.scheduler import BlockedPredicate, Grant, Scheduler
+
+__all__ = ["CrosspointScheduler", "IterativeScheduler"]
+
+#: Selection policies accepted by :class:`CrosspointScheduler`.
+CROSSPOINT_POLICIES = ("lqf", "rr")
+
+
+class CrosspointScheduler(Scheduler):
+    """Per-output crosspoint selection: longest queue first or round robin.
+
+    Each output owns a round-robin pointer over the inputs.  Under
+    ``lqf`` the output drains its longest candidate queue, breaking ties
+    toward the first candidate at/after the pointer; under ``rr`` it
+    simply takes the first candidate at/after the pointer.  The pointer
+    advances past the granted input, so equal-length (or all-busy)
+    crosspoints share service evenly.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int, policy: str = "lqf") -> None:
+        super().__init__(num_inputs, num_outputs)
+        normalized = policy.lower()
+        if normalized not in CROSSPOINT_POLICIES:
+            raise ConfigurationError(
+                f"unknown crosspoint policy {policy!r}; expected one of "
+                f"{CROSSPOINT_POLICIES}"
+            )
+        self.policy = normalized
+        # One round-robin pointer per output, over the inputs.
+        self._pointers = [0] * num_outputs
+
+    @property
+    def kind(self) -> str:
+        return self.policy
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {"pointers": list(self._pointers)}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._pointers[:] = state["pointers"]
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
+    ) -> list[Grant]:
+        self._check_buffers(buffers)
+        if lengths is None:
+            lengths = [buffer.queue_lengths() for buffer in buffers]
+        reads_left = [buffer.max_reads_per_cycle for buffer in buffers]
+        grants: list[Grant] = []
+        lqf = self.policy == "lqf"
+        for output_port, pointer in enumerate(self._pointers):
+            best_input = -1
+            best_length = 0
+            best_packet: Packet | None = None
+            for offset in range(self.num_inputs):
+                input_port = (pointer + offset) % self.num_inputs
+                if reads_left[input_port] == 0:
+                    continue
+                length = lengths[input_port][output_port]
+                if length == 0:
+                    continue
+                packet = buffers[input_port].peek(output_port)
+                if packet is None:
+                    continue
+                if blocked(input_port, output_port, packet):
+                    continue
+                if not lqf:
+                    # Round robin: first candidate in rotation order wins.
+                    best_input, best_packet = input_port, packet
+                    break
+                # LQF: strictly-greater keeps the earliest candidate in
+                # rotation order on ties.
+                if length > best_length:
+                    best_input = input_port
+                    best_length = length
+                    best_packet = packet
+            if best_packet is None:
+                continue
+            grants.append(Grant(best_input, output_port, best_packet))
+            reads_left[best_input] -= 1
+            self._pointers[output_port] = (best_input + 1) % self.num_inputs
+        return grants
+
+
+class IterativeScheduler(Scheduler):
+    """iSLIP-style iterative request–grant–accept matching.
+
+    Parameters
+    ----------
+    num_inputs, num_outputs:
+        Switch dimensions.
+    iterations:
+        Matching rounds per cycle.  One round already guarantees a
+        maximal matching is *approached*; extra rounds fill holes left
+        by accept-phase conflicts.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int, iterations: int = 2) -> None:
+        super().__init__(num_inputs, num_outputs)
+        if iterations < 1:
+            raise ConfigurationError(
+                f"iterative scheduler needs at least 1 iteration, "
+                f"got {iterations}"
+            )
+        self.iterations = iterations
+        # Per-output grant pointer over inputs; per-input accept pointer
+        # over outputs.  Desynchronizing these is what gives iSLIP its
+        # 100%-throughput behaviour under uniform traffic.
+        self._grant_pointers = [0] * num_outputs
+        self._accept_pointers = [0] * num_inputs
+
+    @property
+    def kind(self) -> str:
+        return f"islip{self.iterations}"
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "grant_pointers": list(self._grant_pointers),
+            "accept_pointers": list(self._accept_pointers),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._grant_pointers[:] = state["grant_pointers"]
+        self._accept_pointers[:] = state["accept_pointers"]
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
+    ) -> list[Grant]:
+        self._check_buffers(buffers)
+        if lengths is None:
+            lengths = [buffer.queue_lengths() for buffer in buffers]
+        num_inputs = self.num_inputs
+        num_outputs = self.num_outputs
+        # Request phase, computed once: the head packet of every
+        # non-empty, non-blocked queue.  Buffer state is constant during
+        # arbitration, so requests only *disappear* as matches are made.
+        heads: list[list[Packet | None]] = [
+            [None] * num_outputs for _ in range(num_inputs)
+        ]
+        for input_port, buffer in enumerate(buffers):
+            row = lengths[input_port]
+            for output_port in range(num_outputs):
+                if row[output_port] == 0:
+                    continue
+                packet = buffer.peek(output_port)
+                if packet is None or blocked(input_port, output_port, packet):
+                    continue
+                heads[input_port][output_port] = packet
+        reads_left = [buffer.max_reads_per_cycle for buffer in buffers]
+        output_unmatched = [True] * num_outputs
+        grants: list[Grant] = []
+        for iteration in range(self.iterations):
+            # Grant phase: every unmatched output offers its slot to the
+            # nearest requesting input at/after its grant pointer.
+            offers: list[list[int]] = [[] for _ in range(num_inputs)]
+            for output_port in range(num_outputs):
+                if not output_unmatched[output_port]:
+                    continue
+                pointer = self._grant_pointers[output_port]
+                for offset in range(num_inputs):
+                    input_port = (pointer + offset) % num_inputs
+                    if (
+                        reads_left[input_port] > 0
+                        and heads[input_port][output_port] is not None
+                    ):
+                        offers[input_port].append(output_port)
+                        break
+            # Accept phase: every input with offers accepts the nearest
+            # granting output at/after its accept pointer (one accept per
+            # iteration; spare read ports pick up more in later rounds).
+            matched_any = False
+            for input_port in range(num_inputs):
+                candidates = offers[input_port]
+                if not candidates:
+                    continue
+                pointer = self._accept_pointers[input_port]
+                accepted = min(
+                    candidates,
+                    key=lambda out: (out - pointer) % num_outputs,
+                )
+                packet = heads[input_port][accepted]
+                if packet is None:  # pragma: no cover — offers imply a head
+                    continue
+                grants.append(Grant(input_port, accepted, packet))
+                matched_any = True
+                output_unmatched[accepted] = False
+                reads_left[input_port] -= 1
+                heads[input_port][accepted] = None
+                # The iSLIP no-starvation rule: pointers move only for
+                # first-iteration matches.
+                if iteration == 0:
+                    self._grant_pointers[accepted] = (
+                        input_port + 1
+                    ) % num_inputs
+                    self._accept_pointers[input_port] = (
+                        accepted + 1
+                    ) % num_outputs
+            if not matched_any:
+                break
+        return grants

@@ -3,6 +3,13 @@
 The experiment harness sweeps over buffer types by name ("FIFO", "SAMQ",
 "SAFC", "DAMQ"); this registry maps those names to classes and builds
 instances, validating the capacity constraints each type imposes.
+
+The four paper architectures are registered eagerly.  Extension
+architectures (the zoo in :mod:`repro.arch`: "DAMQ-RSV", "CQ") register
+themselves when their package is imported; lookups of a name that is not
+yet registered import the package lazily before failing, so
+``make_buffer("CQ", ...)`` works without any explicit import while the
+paper-exact modules never depend on the extensions.
 """
 
 from __future__ import annotations
@@ -20,8 +27,10 @@ __all__ = [
     "BUFFER_TYPES",
     "PAPER_ORDER",
     "buffer_class",
+    "buffer_kinds",
     "make_buffer",
     "make_buffer_factory",
+    "register_buffer_type",
 ]
 
 #: All buffer architectures evaluated in the paper, by table name.
@@ -36,13 +45,51 @@ BUFFER_TYPES: dict[str, type[SwitchBuffer]] = {
 PAPER_ORDER = ("FIFO", "SAMQ", "SAFC", "DAMQ")
 
 
+def register_buffer_type(kind: str, cls: type[SwitchBuffer]) -> None:
+    """Register an extension architecture under its (uppercase) name.
+
+    Re-registering the same class under the same name is a no-op, so
+    module re-imports stay idempotent; rebinding a name to a different
+    class is refused.
+    """
+    name = kind.upper()
+    existing = BUFFER_TYPES.get(name)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"buffer type {name!r} is already registered to "
+            f"{existing.__name__}"
+        )
+    BUFFER_TYPES[name] = cls
+
+
+def _load_extensions() -> None:
+    """Import the architecture zoo for its registry side effects."""
+    import repro.arch  # noqa: F401  (imported for its registrations)
+
+
+def buffer_kinds() -> tuple[str, ...]:
+    """All registered architecture names, paper buffers first."""
+    _load_extensions()
+    extensions = sorted(set(BUFFER_TYPES) - set(PAPER_ORDER))
+    return (*PAPER_ORDER, *extensions)
+
+
 def buffer_class(kind: str) -> type[SwitchBuffer]:
-    """Look up a buffer class by its table name (case-insensitive)."""
+    """Look up a buffer class by its table name (case-insensitive).
+
+    Unknown names trigger a lazy import of :mod:`repro.arch` (whose
+    import registers the extension architectures) before failing with a
+    message that lists everything available.
+    """
+    name = kind.upper()
+    if name not in BUFFER_TYPES:
+        _load_extensions()
     try:
-        return BUFFER_TYPES[kind.upper()]
+        return BUFFER_TYPES[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown buffer type {kind!r}; expected one of {sorted(BUFFER_TYPES)}"
+            f"unknown buffer type {kind!r}; expected one of "
+            f"{list(buffer_kinds())}"
         ) from None
 
 

@@ -20,7 +20,9 @@ import time
 from pathlib import Path
 
 from repro.cache.store import DEFAULT_CACHE_DIR, ResultCache
+from repro.core.registry import buffer_kinds
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.switch.scheduler import scheduler_kinds
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,6 +31,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-experiments",
         description="Regenerate the tables and figures of Tamir & Frazier "
         "(ISCA 1988).",
+        epilog=f"registered buffer architectures: "
+        f"{', '.join(buffer_kinds())}; "
+        f"registered schedulers: {', '.join(scheduler_kinds())}",
     )
     parser.add_argument(
         "experiments",

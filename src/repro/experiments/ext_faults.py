@@ -11,17 +11,21 @@ that assumption fails.  Two campaigns (see :mod:`repro.faults.campaign`):
    ack/timeout/retransmission recovers it.  The headline: delivery stays
    at ~100% while a substantial fraction of raw packets is destroyed.
 
-2. **Degraded-capacity throughput on the Omega network** — the four
-   buffer architectures running with a retired slot per buffer under
-   increasing packet loss.  The DAMQ's dynamic allocation absorbs the
-   lost capacity wherever demand is; the static partitions of SAMQ/SAFC
-   lose a whole partition slot.
+2. **Degraded-capacity throughput on the Omega network** — the paper's
+   four buffer architectures plus the ``repro.arch`` zoo (reserved-slot
+   DAMQ, crosspoint-queued) running with a retired slot per buffer
+   under increasing packet loss.  The DAMQ's dynamic allocation absorbs
+   the lost capacity wherever demand is; the static partitions of
+   SAMQ/SAFC (and CQ's crosspoints) lose a whole partition slot, and
+   the reserved-slot DAMQ gives up shared-pool capacity while keeping
+   every reservation intact.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult
 from repro.faults.campaign import (
+    EXTENDED_BUFFER_KINDS,
     ChipCampaignResult,
     run_buffer_sweep,
     run_chip_campaign,
@@ -103,6 +107,7 @@ def run(
     result.notes.append(campaign.describe())
 
     cells = run_buffer_sweep(
+        buffer_kinds=EXTENDED_BUFFER_KINDS,
         loss_rates=LOSS_RATES,
         retired_slots_per_buffer=1,
         seed=seed,

@@ -10,6 +10,7 @@ from repro.cache.runtime import CacheContext, activate
 from repro.cache.store import ResultCache
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    ext_arch,
     ext_faults,
     ext_radix,
     ext_slotsize,
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-validation": ext_validation.run,
     "ext-radix": ext_radix.run,
     "ext-faults": ext_faults.run,
+    "ext-arch": ext_arch.run,
 }
 
 

@@ -35,12 +35,20 @@ from repro.switch.flow_control import Protocol
 __all__ = [
     "BufferSweepCell",
     "ChipCampaignResult",
+    "EXTENDED_BUFFER_KINDS",
     "run_buffer_sweep",
     "run_chip_campaign",
 ]
 
 #: Buffer architectures compared by the paper, in its own order.
 BUFFER_KINDS = ("FIFO", "SAMQ", "SAFC", "DAMQ")
+
+#: The paper's four plus the ``repro.arch`` zoo, so degraded-capacity
+#: campaigns exercise ``retire_slot`` on the reserved-slot DAMQ (which
+#: must keep at least one shared slot free) and the crosspoint-queued
+#: buffer (which retires from its fullest crosspoint, like SAMQ's
+#: partitions).
+EXTENDED_BUFFER_KINDS = (*BUFFER_KINDS, "DAMQ-RSV", "CQ")
 
 
 @dataclass
@@ -257,14 +265,18 @@ def run_buffer_sweep(
     measure_cycles: int = 1000,
     jobs: int | None = 1,
 ) -> list[BufferSweepCell]:
-    """Degraded-capacity throughput of the four buffer architectures.
+    """Degraded-capacity throughput of the selected buffer architectures.
 
     Every input buffer loses ``retired_slots_per_buffer`` slots to hard
-    faults (for the statically partitioned SAMQ/SAFC this thins their
-    largest partition), and each link crossing loses the packet with
+    faults (for the statically partitioned SAMQ/SAFC — and the
+    crosspoint-queued CQ — this thins their largest partition; the
+    reserved-slot DAMQ surrenders shared-pool slots so its reservations
+    stay intact), and each link crossing loses the packet with
     probability ``packet_loss_rate``.  ``slots_per_buffer`` defaults to
     eight so a 4×4 switch's static partitions keep at least one slot
-    after a retirement.
+    after a retirement.  The crosspoint-queued buffer runs under its own
+    per-output LQF scheduler; everything else uses the paper's smart
+    arbiter.
     """
     if slots_per_buffer - retired_slots_per_buffer < 1:
         raise ConfigurationError("retirement would leave buffers empty")
@@ -280,7 +292,11 @@ def run_buffer_sweep(
     grid = [(kind, rate) for kind in buffer_kinds for rate in loss_rates]
     results = parallel_simulate(
         [
-            base.with_overrides(buffer_kind=kind, packet_loss_rate=rate)
+            base.with_overrides(
+                buffer_kind=kind,
+                arbiter_kind="lqf" if kind == "CQ" else "smart",
+                packet_loss_rate=rate,
+            )
             for kind, rate in grid
         ],
         warmup_cycles,

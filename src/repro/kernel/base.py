@@ -36,6 +36,8 @@ __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "NUMPY_ARBITER_KINDS",
+    "NUMPY_BUFFER_KINDS",
     "SimKernel",
     "make_kernel",
     "normalize_backend",
@@ -52,6 +54,13 @@ DEFAULT_BACKEND = "reference"
 
 #: Environment variable naming the soft backend preference.
 BACKEND_ENV = "REPRO_BACKEND"
+
+#: The configurations the vectorized kernel implements: the paper's four
+#: buffer architectures under its two arbiters.  The ``repro.arch`` zoo
+#: (DAMQ-RSV, CQ, the crosspoint/iterative schedulers) stays on the
+#: reference kernel.
+NUMPY_BUFFER_KINDS = ("FIFO", "SAMQ", "SAFC", "DAMQ")
+NUMPY_ARBITER_KINDS = ("smart", "dumb")
 
 
 class SimKernel(ABC):
@@ -159,6 +168,16 @@ def numpy_unsupported_reason(config: "NetworkConfig") -> str | None:
     """
     if not numpy_available():
         return "numpy is not installed"
+    if config.buffer_kind not in NUMPY_BUFFER_KINDS:
+        return (
+            f"extension buffer architecture {config.buffer_kind!r} "
+            "(only the paper buffers are vectorized)"
+        )
+    if config.arbiter_kind not in NUMPY_ARBITER_KINDS:
+        return (
+            f"extension scheduler {config.arbiter_kind!r} "
+            "(only the paper's smart/dumb arbiters are vectorized)"
+        )
     if config.packet_size != 1 or config.packet_size_max is not None:
         return "variable/multi-slot packet sizes"
     if config.serialize_links:

@@ -1,8 +1,15 @@
-"""The n×n switch: crossbar, central arbiter and flow-control protocols."""
+"""The n×n switch: crossbar, schedulers and flow-control protocols."""
 
 from repro.switch.arbiter import ARBITER_KINDS, CrossbarArbiter, Grant, make_arbiter
 from repro.switch.crossbar import Crossbar
 from repro.switch.flow_control import Protocol
+from repro.switch.scheduler import (
+    SCHEDULER_TYPES,
+    Scheduler,
+    register_scheduler,
+    scheduler_factory,
+    scheduler_kinds,
+)
 from repro.switch.switch import Switch
 
 __all__ = [
@@ -11,6 +18,11 @@ __all__ = [
     "CrossbarArbiter",
     "Grant",
     "Protocol",
+    "SCHEDULER_TYPES",
+    "Scheduler",
     "Switch",
     "make_arbiter",
+    "register_scheduler",
+    "scheduler_factory",
+    "scheduler_kinds",
 ]

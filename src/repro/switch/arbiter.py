@@ -21,33 +21,29 @@ blocked under the discarding protocol).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from typing import Any, NamedTuple
+from collections.abc import Sequence
+from typing import Any
 
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
-from repro.errors import ConfigurationError
+from repro.switch.scheduler import (
+    BlockedPredicate,
+    Grant,
+    Scheduler,
+    scheduler_factory,
+)
 
-__all__ = ["Grant", "CrossbarArbiter", "make_arbiter", "ARBITER_KINDS"]
-
-#: ``blocked(input_port, output_port, packet) -> bool`` — flow-control hook.
-BlockedPredicate = Callable[[int, int, Packet], bool]
-
-
-class Grant(NamedTuple):
-    """One arbitration decision: transmit ``packet`` from input to output.
-
-    A named tuple rather than a (frozen) dataclass: grants are created on
-    the simulator's innermost loop, and tuple construction is markedly
-    cheaper than frozen-dataclass field assignment.
-    """
-
-    input_port: int
-    output_port: int
-    packet: Packet
+__all__ = [
+    "ARBITER_KINDS",
+    "BlockedPredicate",
+    "CrossbarArbiter",
+    "Grant",
+    "Scheduler",
+    "make_arbiter",
+]
 
 
-class CrossbarArbiter:
+class CrossbarArbiter(Scheduler):
     """Round-robin longest-queue arbiter with optional smart fairness.
 
     Parameters
@@ -61,10 +57,7 @@ class CrossbarArbiter:
     """
 
     def __init__(self, num_inputs: int, num_outputs: int, smart: bool) -> None:
-        if num_inputs < 1 or num_outputs < 1:
-            raise ConfigurationError("arbiter needs at least one input and output")
-        self.num_inputs = num_inputs
-        self.num_outputs = num_outputs
+        super().__init__(num_inputs, num_outputs)
         self.smart = smart
         self._priority = 0
         # stale[i][o]: cycles queue (i, o) has waited non-empty and unserved.
@@ -131,10 +124,7 @@ class CrossbarArbiter:
         during arbitration (pops happen at execution), so either form is
         a consistent snapshot.
         """
-        if len(buffers) != self.num_inputs:
-            raise ConfigurationError(
-                f"expected {self.num_inputs} buffers, got {len(buffers)}"
-            )
+        self._check_buffers(buffers)
         if lengths is None:
             lengths = [buffer.queue_lengths() for buffer in buffers]
         grants: list[Grant] = []
@@ -227,15 +217,24 @@ class CrossbarArbiter:
             self._priority = (self._priority + 1) % self.num_inputs
 
 
-#: Names accepted by :func:`make_arbiter`.
+#: The paper's own arbiter names; :func:`make_arbiter` additionally
+#: accepts any discipline registered in
+#: :data:`repro.switch.scheduler.SCHEDULER_TYPES` (the architecture zoo).
 ARBITER_KINDS = ("smart", "dumb")
 
 
-def make_arbiter(kind: str, num_inputs: int, num_outputs: int) -> CrossbarArbiter:
-    """Construct an arbiter by table name ("smart" or "dumb")."""
+def make_arbiter(kind: str, num_inputs: int, num_outputs: int) -> Scheduler:
+    """Construct a scheduler by table name.
+
+    "smart" and "dumb" build the paper's :class:`CrossbarArbiter`; any
+    other name is resolved through the extension-scheduler registry
+    (which lazily imports ``repro.arch``).  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` listing every accepted
+    kind.
+    """
     normalized = kind.lower()
-    if normalized not in ARBITER_KINDS:
-        raise ConfigurationError(
-            f"unknown arbiter kind {kind!r}; expected one of {ARBITER_KINDS}"
+    if normalized in ARBITER_KINDS:
+        return CrossbarArbiter(
+            num_inputs, num_outputs, smart=(normalized == "smart")
         )
-    return CrossbarArbiter(num_inputs, num_outputs, smart=(normalized == "smart"))
+    return scheduler_factory(normalized)(num_inputs, num_outputs)

@@ -1,0 +1,169 @@
+"""Scheduler abstraction for the crossbar datapath.
+
+The paper's central :class:`~repro.switch.arbiter.CrossbarArbiter` is one
+point in a much larger design space: the descendant literature replaces the
+single sequential scan with per-output schedulers (crosspoint-queued
+switches, arXiv 1403.2098) and with distributed iterative matching
+(request--grant--accept rounds, arXiv 1112.4214).  This module defines the
+interface all of them share so that :class:`~repro.switch.switch.Switch`
+and the omega simulator can drive any scheduling discipline:
+
+* :class:`Grant` / :data:`BlockedPredicate` — the vocabulary of one
+  arbitration cycle (moved here from ``repro.switch.arbiter``, which
+  re-exports them for compatibility).
+* :class:`Scheduler` — the abstract base class: ``arbitrate()`` plus the
+  checkpoint pair ``snapshot_state()``/``restore_state()``.
+* :data:`SCHEDULER_TYPES` / :func:`register_scheduler` /
+  :func:`scheduler_factory` — a registry that extension packages (the
+  architecture zoo in ``repro.arch``) populate with additional
+  disciplines, looked up lazily so importing ``repro.switch`` alone keeps
+  the paper-exact surface.
+
+A :class:`Scheduler` must uphold the same contract the arbiter does: at
+most one grant per output per cycle, at most ``max_reads_per_cycle``
+grants per input buffer, only non-blocked head packets, and deterministic
+decisions given its snapshot state and the offered queues.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from typing import Any, NamedTuple
+
+from repro.core.buffer import SwitchBuffer
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BlockedPredicate",
+    "Grant",
+    "SCHEDULER_TYPES",
+    "Scheduler",
+    "SchedulerFactory",
+    "register_scheduler",
+    "scheduler_factory",
+    "scheduler_kinds",
+]
+
+#: ``blocked(input_port, output_port, packet) -> bool`` — flow-control hook.
+BlockedPredicate = Callable[[int, int, Packet], bool]
+
+
+class Grant(NamedTuple):
+    """One arbitration decision: transmit ``packet`` from input to output.
+
+    A named tuple rather than a (frozen) dataclass: grants are created on
+    the simulator's innermost loop, and tuple construction is markedly
+    cheaper than frozen-dataclass field assignment.
+    """
+
+    input_port: int
+    output_port: int
+    packet: Packet
+
+
+class Scheduler(ABC):
+    """Abstract crossbar scheduler: picks one matching per cycle.
+
+    Subclasses implement :meth:`arbitrate` and the checkpoint pair; the
+    base class owns dimension validation so every discipline rejects
+    degenerate switches with the same message.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int) -> None:
+        if num_inputs < 1 or num_outputs < 1:
+            raise ConfigurationError("arbiter needs at least one input and output")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+
+    @property
+    @abstractmethod
+    def kind(self) -> str:
+        """Registry name of the scheduling discipline."""
+
+    @abstractmethod
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
+    ) -> list[Grant]:
+        """Choose this cycle's transmissions and update fairness state."""
+
+    @abstractmethod
+    def snapshot_state(self) -> dict[str, Any]:
+        """JSON-able fairness state for checkpointing."""
+
+    @abstractmethod
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Overwrite the fairness state with a :meth:`snapshot_state` dict."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _check_buffers(self, buffers: Sequence[SwitchBuffer]) -> None:
+        """Reject a buffer row that does not match the input count."""
+        if len(buffers) != self.num_inputs:
+            raise ConfigurationError(
+                f"expected {self.num_inputs} buffers, got {len(buffers)}"
+            )
+
+
+#: ``factory(num_inputs, num_outputs) -> Scheduler``.
+SchedulerFactory = Callable[[int, int], "Scheduler"]
+
+#: Extension schedulers by lowercase kind name.  The paper's own
+#: "smart"/"dumb" arbiters are *not* listed here — ``make_arbiter``
+#: handles them directly so the paper surface has no registry hop.
+SCHEDULER_TYPES: dict[str, SchedulerFactory] = {}
+
+
+def register_scheduler(kind: str, factory: SchedulerFactory) -> None:
+    """Register an extension scheduling discipline under ``kind``.
+
+    Re-registering the same name is allowed (module re-imports are
+    idempotent); names collide case-insensitively with the built-in
+    arbiter kinds, which stay reserved.
+    """
+    normalized = kind.lower()
+    if normalized in ("smart", "dumb"):
+        raise ConfigurationError(
+            f"scheduler kind {kind!r} is reserved for the paper's arbiters"
+        )
+    SCHEDULER_TYPES[normalized] = factory
+
+
+def scheduler_kinds() -> tuple[str, ...]:
+    """All accepted scheduler names (built-in arbiters + extensions)."""
+    _load_extensions()
+    return ("smart", "dumb", *sorted(SCHEDULER_TYPES))
+
+
+def _load_extensions() -> None:
+    """Pull in the architecture zoo's registrations, if available.
+
+    Importing ``repro.arch`` has the side effect of populating
+    :data:`SCHEDULER_TYPES`.  The import is lazy so the paper-exact
+    modules never pay for (or depend on) the extension package.
+    """
+    import repro.arch  # noqa: F401  (imported for its registrations)
+
+
+def scheduler_factory(kind: str) -> SchedulerFactory:
+    """Look up an extension scheduler factory by name.
+
+    Unknown names trigger a lazy load of ``repro.arch`` (whose import
+    registers the zoo's schedulers) before failing with a message that
+    lists every accepted kind.
+    """
+    normalized = kind.lower()
+    if normalized not in SCHEDULER_TYPES:
+        _load_extensions()
+    try:
+        return SCHEDULER_TYPES[normalized]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown arbiter kind {kind!r}; expected one of {scheduler_kinds()}"
+        ) from None

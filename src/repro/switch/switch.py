@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.buffer import SwitchBuffer
 from repro.core.packet import Packet
 from repro.errors import ConfigurationError
-from repro.switch.arbiter import BlockedPredicate, CrossbarArbiter, Grant
+from repro.switch.arbiter import BlockedPredicate, Grant, Scheduler
 from repro.switch.crossbar import Crossbar
 
 if TYPE_CHECKING:  # import cycle: repro.analysis.sanitizer imports this module
@@ -40,7 +40,9 @@ class Switch:
         ``factory(num_outputs) -> SwitchBuffer`` building one input
         buffer; see :func:`repro.core.registry.make_buffer_factory`.
     arbiter:
-        The crossbar arbiter (smart or dumb).
+        The scheduling discipline: the paper's smart/dumb
+        :class:`~repro.switch.arbiter.CrossbarArbiter` or any other
+        :class:`~repro.switch.scheduler.Scheduler`.
     sanitizer:
         Optional :class:`~repro.analysis.sanitizer.HardwareSanitizer`;
         when given, every buffer this switch builds is wrapped in its
@@ -55,7 +57,7 @@ class Switch:
         num_inputs: int,
         num_outputs: int,
         buffer_factory: Callable[[int], SwitchBuffer],
-        arbiter: CrossbarArbiter,
+        arbiter: Scheduler,
         sanitizer: "HardwareSanitizer | None" = None,
     ) -> None:
         if arbiter.num_inputs != num_inputs or arbiter.num_outputs != num_outputs:

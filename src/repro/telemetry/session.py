@@ -16,13 +16,16 @@ ones (pinned by ``tests/integration/test_determinism_regression.py``).
 
 Choke points instrumented here:
 
-* the four buffer classes (``push``/``pop`` → enqueue/dequeue events,
-  per-buffer counters, occupancy histograms);
+* the four paper buffer classes plus the ``repro.arch`` zoo's
+  (``push``/``pop`` → enqueue/dequeue events, per-buffer counters,
+  occupancy histograms);
 * :class:`~repro.core.linkedlist.SlotListManager` (``allocate`` /
   ``_append_free`` / ``retire_slot`` → slot alloc/free/retire events and
   free-depth gauges);
-* :class:`~repro.switch.arbiter.CrossbarArbiter` (``arbitrate`` →
-  grant/deny events and per-input fairness counters);
+* every :class:`~repro.switch.scheduler.Scheduler` implementation —
+  :class:`~repro.switch.arbiter.CrossbarArbiter` and the zoo's
+  crosspoint/iterative schedulers (``arbitrate`` → grant/deny events and
+  per-input fairness counters);
 * the ComCoBB chip's input/output port FSMs (packet completion →
   link-transfer events and per-port counters).
 
@@ -37,6 +40,9 @@ import os
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from repro.arch.crosspoint import CrosspointBuffer
+from repro.arch.damq_reserved import DamqReservedBuffer
+from repro.arch.schedulers import CrosspointScheduler, IterativeScheduler
 from repro.chip.comcobb import ComCoBBChip
 from repro.chip.input_port import InputPort
 from repro.chip.output_port import OutputPort
@@ -48,7 +54,12 @@ from repro.core.packet import Packet
 from repro.core.safc import SafcBuffer
 from repro.core.samq import SamqBuffer
 from repro.errors import ConfigurationError
-from repro.switch.arbiter import BlockedPredicate, CrossbarArbiter, Grant
+from repro.switch.arbiter import (
+    BlockedPredicate,
+    CrossbarArbiter,
+    Grant,
+    Scheduler,
+)
 from repro.telemetry.events import DEFAULT_RING_CAPACITY, EventRing, TraceEvent
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -57,9 +68,13 @@ __all__ = [
     "TRACE_ENV",
     "TraceSession",
     "TracedCrossbarArbiter",
+    "TracedCrosspointBuffer",
+    "TracedCrosspointScheduler",
     "TracedDamqBuffer",
+    "TracedDamqReservedBuffer",
     "TracedFifoBuffer",
     "TracedInputPort",
+    "TracedIterativeScheduler",
     "TracedOutputPort",
     "TracedSafcBuffer",
     "TracedSamqBuffer",
@@ -117,7 +132,7 @@ class TraceSession:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._buffers: list[SwitchBuffer] = []
         self._managers: list["TracedSlotListManager"] = []
-        self._arbiters: list["TracedCrossbarArbiter"] = []
+        self._arbiters: list[Scheduler] = []
 
     # -- recording ---------------------------------------------------------
 
@@ -219,30 +234,35 @@ class TraceSession:
         """Trace a standalone slot manager (e.g. the chip model's)."""
         return TracedSlotListManager.adopt(manager, self, label)
 
-    def adopt_arbiter(
-        self, arbiter: CrossbarArbiter, label: str
-    ) -> "TracedCrossbarArbiter":
-        """Install the traced subclass onto a live crossbar arbiter."""
-        if isinstance(arbiter, TracedCrossbarArbiter):
+    def adopt_arbiter(self, arbiter: Scheduler, label: str) -> Scheduler:
+        """Install the matching traced subclass onto a live scheduler.
+
+        Works for the paper's :class:`CrossbarArbiter` and for every
+        scheduling discipline in the architecture zoo: the traced
+        subclass is looked up by exact type, same as buffer adoption.
+        """
+        if isinstance(arbiter, _SchedulerTelemetry):
             return arbiter
-        if type(arbiter) is not CrossbarArbiter:
+        traced_class = _TRACED_SCHEDULER_CLASSES.get(type(arbiter))
+        if traced_class is None:
             raise ConfigurationError(
-                f"cannot trace arbiter of type {type(arbiter).__name__}"
+                f"cannot trace arbiter of type {type(arbiter).__name__}; "
+                f"expected one of "
+                f"{sorted(cls.__name__ for cls in _TRACED_SCHEDULER_CLASSES)}"
             )
-        arbiter.__class__ = TracedCrossbarArbiter
-        adopted: "TracedCrossbarArbiter" = arbiter  # type: ignore[assignment]
-        adopted._tel = self
-        adopted._tel_label = label
-        adopted._tel_grants = [
+        arbiter.__class__ = traced_class
+        arbiter._tel = self  # type: ignore[attr-defined]
+        arbiter._tel_label = label  # type: ignore[attr-defined]
+        arbiter._tel_grants = [  # type: ignore[attr-defined]
             self.metrics.counter("arbiter_grants_total", switch=label, input=i)
             for i in range(arbiter.num_inputs)
         ]
-        adopted._tel_denies = [
+        arbiter._tel_denies = [  # type: ignore[attr-defined]
             self.metrics.counter("arbiter_denies_total", switch=label, input=i)
             for i in range(arbiter.num_inputs)
         ]
-        self._arbiters.append(adopted)
-        return adopted
+        self._arbiters.append(arbiter)
+        return arbiter
 
     def adopt_chip(self, chip: ComCoBBChip) -> ComCoBBChip:
         """Instrument a ComCoBB chip: slot managers and both port FSMs.
@@ -451,24 +471,58 @@ class TracedDamqBuffer(DamqBuffer, _TraceHooks):
         return packet
 
 
+class TracedDamqReservedBuffer(DamqReservedBuffer, _TraceHooks):
+    """Reserved-slot DAMQ buffer emitting enqueue/dequeue (and, via its
+    traced slot manager, alloc/free/retire) telemetry."""
+
+    def push(self, packet: Packet, destination: int) -> None:
+        super().push(packet, destination)
+        self._tel_after_push(packet, destination)
+
+    def pop(self, destination: int) -> Packet:
+        packet = super().pop(destination)
+        self._tel_after_pop(packet, destination)
+        return packet
+
+
+class TracedCrosspointBuffer(CrosspointBuffer, _TraceHooks):
+    """Crosspoint-queued buffer emitting enqueue/dequeue telemetry."""
+
+    def push(self, packet: Packet, destination: int) -> None:
+        super().push(packet, destination)
+        self._tel_after_push(packet, destination)
+
+    def pop(self, destination: int) -> Packet:
+        packet = super().pop(destination)
+        self._tel_after_pop(packet, destination)
+        return packet
+
+
 #: Plain class -> traced subclass, for ``__class__`` adoption.
 _TRACED_BUFFER_CLASSES: dict[type[SwitchBuffer], type[SwitchBuffer]] = {
     FifoBuffer: TracedFifoBuffer,
     SamqBuffer: TracedSamqBuffer,
     SafcBuffer: TracedSafcBuffer,
     DamqBuffer: TracedDamqBuffer,
+    DamqReservedBuffer: TracedDamqReservedBuffer,
+    CrosspointBuffer: TracedCrosspointBuffer,
 }
 
 
-class TracedCrossbarArbiter(CrossbarArbiter):
-    """Crossbar arbiter emitting grant/deny telemetry.
+class _SchedulerTelemetry:
+    """Grant/deny bookkeeping shared by the traced schedulers.
 
     A *deny* is recorded for every input that held at least one buffered
     packet this cycle but received no grant — the quantity the paper's
-    fairness discussion reasons about.  The arbitration decision itself
-    is entirely the inherited code; telemetry reads the same queue-length
-    rows the arbiter used (buffer state is constant during arbitration,
-    pops happen at execution).
+    fairness discussion reasons about.  The scheduling decision itself
+    is entirely the inherited code; telemetry reads the same
+    queue-length rows the scheduler used (buffer state is constant
+    during arbitration, pops happen at execution).
+
+    A trailing mixin, same layout as :class:`_TraceHooks`: the
+    ``arbitrate`` overrides live on the concrete traced classes (they
+    must shadow the plain implementations, which sit earlier in the
+    MRO) and call :meth:`_tel_record` explicitly.
     """
 
     _tel: TraceSession
@@ -476,18 +530,11 @@ class TracedCrossbarArbiter(CrossbarArbiter):
     _tel_grants: list[Counter]
     _tel_denies: list[Counter]
 
-    def arbitrate(
-        self,
-        buffers: Sequence[SwitchBuffer],
-        blocked: BlockedPredicate,
-        lengths: Sequence[list[int]] | None = None,
-    ) -> list[Grant]:
-        rows = (
-            lengths
-            if lengths is not None
-            else [buffer.queue_lengths() for buffer in buffers]
-        )
-        grants = super().arbitrate(buffers, blocked, rows)
+    num_inputs: int
+
+    def _tel_record(
+        self, rows: Sequence[list[int]], grants: list[Grant]
+    ) -> None:
         session = self._tel
         label = self._tel_label
         served = [False] * self.num_inputs
@@ -505,7 +552,71 @@ class TracedCrossbarArbiter(CrossbarArbiter):
             if longest > 0:
                 self._tel_denies[input_port].value += 1
                 session.emit("deny", label, input_port, longest)
+
+
+class TracedCrossbarArbiter(CrossbarArbiter, _SchedulerTelemetry):
+    """Crossbar arbiter emitting grant/deny telemetry."""
+
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
+    ) -> list[Grant]:
+        rows = (
+            lengths
+            if lengths is not None
+            else [buffer.queue_lengths() for buffer in buffers]
+        )
+        grants = super().arbitrate(buffers, blocked, rows)
+        self._tel_record(rows, grants)
         return grants
+
+
+class TracedCrosspointScheduler(CrosspointScheduler, _SchedulerTelemetry):
+    """Per-output crosspoint scheduler emitting grant/deny telemetry."""
+
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
+    ) -> list[Grant]:
+        rows = (
+            lengths
+            if lengths is not None
+            else [buffer.queue_lengths() for buffer in buffers]
+        )
+        grants = super().arbitrate(buffers, blocked, rows)
+        self._tel_record(rows, grants)
+        return grants
+
+
+class TracedIterativeScheduler(IterativeScheduler, _SchedulerTelemetry):
+    """iSLIP-style iterative scheduler emitting grant/deny telemetry."""
+
+    def arbitrate(
+        self,
+        buffers: Sequence[SwitchBuffer],
+        blocked: BlockedPredicate,
+        lengths: Sequence[list[int]] | None = None,
+    ) -> list[Grant]:
+        rows = (
+            lengths
+            if lengths is not None
+            else [buffer.queue_lengths() for buffer in buffers]
+        )
+        grants = super().arbitrate(buffers, blocked, rows)
+        self._tel_record(rows, grants)
+        return grants
+
+
+#: Plain scheduler class -> traced subclass, for ``__class__`` adoption.
+_TRACED_SCHEDULER_CLASSES: dict[type[Scheduler], type[Scheduler]] = {
+    CrossbarArbiter: TracedCrossbarArbiter,
+    CrosspointScheduler: TracedCrosspointScheduler,
+    IterativeScheduler: TracedIterativeScheduler,
+}
 
 
 class TracedInputPort(InputPort):

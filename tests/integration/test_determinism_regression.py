@@ -111,6 +111,24 @@ def test_seed_1988_checksums_unchanged(name):
 
 
 @pytest.mark.parametrize("name", sorted(PINNED))
+def test_pins_survive_architecture_zoo_registration(name):
+    """Importing ``repro.arch`` must not perturb the paper datapath.
+
+    The zoo registers extra buffer and scheduler kinds as an import side
+    effect; nothing about that registration may touch the paper
+    configurations' RNG draw order, switch iteration order, or buffer
+    semantics.  Re-running a pinned config with the zoo loaded proves
+    the extension is purely additive, bit for bit.
+    """
+    import repro.arch  # noqa: F401  (the import side effect is the test)
+
+    pin = PINNED[name]
+    simulator = OmegaNetworkSimulator(NetworkConfig(**pin["config"]))
+    simulator.run(warmup_cycles=WARMUP, measure_cycles=MEASURE)
+    assert checksum(simulator.meters) == pin["expected"]
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
 def test_sanitized_run_matches_pins_exactly(name, monkeypatch):
     """REPRO_SANITIZE=1 must not perturb a single bit of the results.
 

@@ -1,0 +1,103 @@
+"""Property-based tests for the ``repro.arch`` architecture zoo.
+
+The two guarantees the zoo's buffers sell:
+
+* **DAMQ-RSV never starves a below-quota output** — whatever push/pop/
+  retire sequence ran before, an output currently holding fewer packets
+  than its reservation must be able to accept a one-slot packet.  (This
+  is the property plain DAMQ violates; the model checker's committed
+  counterexample pins that.)
+* **CQ crosspoints are hard partitions** — no sequence of operations
+  drives any per-crosspoint occupancy above its dedicated (effective)
+  capacity, and the total never exceeds the budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import CrosspointBuffer, DamqReservedBuffer
+from repro.core.packet import Packet
+from repro.errors import FaultError
+
+NUM_OUTPUTS = 4
+CAPACITY = 8
+
+#: (op, destination): push, pop, or (destination-ignored) retire.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop", "retire"]),
+        st.integers(min_value=0, max_value=NUM_OUTPUTS - 1),
+    ),
+    max_size=80,
+)
+
+
+def _drive(buffer, ops):
+    """Apply an arbitrary operation sequence, yielding after each step."""
+    next_id = 0
+    for op, destination in ops:
+        if op == "push":
+            if buffer.can_accept(destination):
+                buffer.push(
+                    Packet(
+                        packet_id=next_id, source=0, destination=destination
+                    ),
+                    destination,
+                )
+                next_id += 1
+        elif op == "pop":
+            if buffer.peek(destination) is not None:
+                buffer.pop(destination)
+        else:
+            try:
+                buffer.retire_slot()
+            except FaultError:
+                pass  # no retirable slot left — a legal refusal
+        buffer.check_invariants()
+        yield
+
+
+@settings(max_examples=150)
+@given(ops=operations, reserved=st.integers(min_value=1, max_value=2))
+def test_damq_reserved_never_rejects_below_quota(ops, reserved):
+    buffer = DamqReservedBuffer(CAPACITY, NUM_OUTPUTS, reserved=reserved)
+    for _ in _drive(buffer, ops):
+        for output in range(NUM_OUTPUTS):
+            if buffer.queue_length(output) < reserved:
+                assert buffer.can_accept(output), (
+                    f"output {output} holds "
+                    f"{buffer.queue_length(output)} < quota {reserved} "
+                    f"yet is rejected (lengths {buffer.queue_lengths()})"
+                )
+
+
+@settings(max_examples=150)
+@given(ops=operations)
+def test_crosspoint_occupancy_never_exceeds_dedicated_capacity(ops):
+    buffer = CrosspointBuffer(CAPACITY, NUM_OUTPUTS)
+    for _ in _drive(buffer, ops):
+        total = 0
+        for output in range(NUM_OUTPUTS):
+            used = buffer.crosspoint_occupancy(output)
+            assert used <= buffer.effective_crosspoint_capacity(output)
+            assert (
+                buffer.effective_crosspoint_capacity(output)
+                <= buffer.crosspoint_capacity
+            )
+            total += used
+        assert total == buffer.occupancy <= buffer.effective_capacity
+
+
+@settings(max_examples=100)
+@given(ops=operations, reserved=st.integers(min_value=1, max_value=2))
+def test_damq_reserved_snapshot_round_trip(ops, reserved):
+    buffer = DamqReservedBuffer(CAPACITY, NUM_OUTPUTS, reserved=reserved)
+    for _ in _drive(buffer, ops):
+        pass
+    clone = DamqReservedBuffer(CAPACITY, NUM_OUTPUTS, reserved=reserved)
+    clone.restore_state(buffer.snapshot_state())
+    assert clone.canonical_state() == buffer.canonical_state()
+    assert clone.shared_used == buffer.shared_used
+    assert [
+        clone.can_accept(output) for output in range(NUM_OUTPUTS)
+    ] == [buffer.can_accept(output) for output in range(NUM_OUTPUTS)]

@@ -1,0 +1,124 @@
+"""Unit tests for the ``repro.arch`` buffer architectures."""
+
+import pytest
+
+from repro.arch import ARCH_ORDER, CrosspointBuffer, DamqReservedBuffer
+from repro.core.packet import Packet
+from repro.errors import BufferFullError, ConfigurationError, FaultError
+
+
+def _packet(packet_id: int, destination: int) -> Packet:
+    return Packet(packet_id=packet_id, source=0, destination=destination)
+
+
+def _fill(buffer, destination, count, start_id=0):
+    for index in range(count):
+        buffer.push(_packet(start_id + index, destination), destination)
+    return start_id + count
+
+
+class TestDamqReserved:
+    def test_kind_and_registry_order(self):
+        assert DamqReservedBuffer.kind == "DAMQ-RSV"
+        assert "DAMQ-RSV" in ARCH_ORDER
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            DamqReservedBuffer(8, 4, reserved=0)
+        with pytest.raises(ConfigurationError):
+            DamqReservedBuffer(3, 4, reserved=1)  # capacity < n * reserved
+
+    def test_reservation_survives_a_hot_output(self):
+        buffer = DamqReservedBuffer(8, 4, reserved=1)
+        # The hot output may take its reservation plus the whole shared
+        # pool: 1 + (8 - 4) = 5 slots...
+        next_id = _fill(buffer, 0, 5)
+        assert not buffer.can_accept(0)
+        with pytest.raises(BufferFullError, match="shared pool full"):
+            buffer.push(_packet(next_id, 0), 0)
+        # ...but every cold output still has its reserved slot.
+        for output in (1, 2, 3):
+            assert buffer.can_accept(output)
+            next_id = _fill(buffer, output, 1, next_id)
+        assert buffer.occupancy == 8
+
+    def test_shared_pool_accounting(self):
+        buffer = DamqReservedBuffer(8, 2, reserved=2)
+        assert buffer.shared_capacity == 4
+        assert buffer.shared_used == 0
+        next_id = _fill(buffer, 0, 4)  # 2 reserved + 2 shared
+        assert buffer.shared_used == 2
+        buffer.pop(0)
+        buffer.pop(0)
+        assert buffer.shared_used == 0
+        _fill(buffer, 1, 2, next_id)  # within output 1's reservation
+        assert buffer.shared_used == 0
+
+    def test_retire_consumes_shared_slack_only(self):
+        buffer = DamqReservedBuffer(4, 2, reserved=1)
+        assert buffer.shared_capacity == 2
+        buffer.retire_slot()
+        buffer.retire_slot()
+        assert buffer.shared_capacity == 0
+        # Retiring further would break a reservation: refused.
+        with pytest.raises(FaultError):
+            buffer.retire_slot()
+        # Both outputs still accept their reserved packet.
+        assert buffer.can_accept(0) and buffer.can_accept(1)
+        _fill(buffer, 0, 1)
+        assert not buffer.can_accept(0)
+
+    def test_multi_slot_packets_count_against_the_pool(self):
+        buffer = DamqReservedBuffer(8, 4, reserved=1)
+        big = Packet(packet_id=0, source=0, destination=0, size=5)
+        assert buffer.can_accept(0, size=5)
+        buffer.push(big, 0)
+        assert buffer.shared_used == 4
+        assert not buffer.can_accept(0, size=1)
+        assert buffer.can_accept(1, size=1)
+
+
+class TestCrosspoint:
+    def test_kind_and_partitioning(self):
+        assert CrosspointBuffer.kind == "CQ"
+        buffer = CrosspointBuffer(8, 4)
+        assert buffer.crosspoint_capacity == 2
+        assert buffer.max_reads_per_cycle == 4  # one read port per output
+
+    def test_capacity_must_divide(self):
+        with pytest.raises(ConfigurationError, match="not divisible"):
+            CrosspointBuffer(6, 4)
+
+    def test_crosspoints_are_hard_partitions(self):
+        buffer = CrosspointBuffer(8, 4)
+        next_id = _fill(buffer, 0, 2)
+        assert not buffer.can_accept(0)
+        with pytest.raises(BufferFullError, match="crosspoint for output 0"):
+            buffer.push(_packet(next_id, 0), 0)
+        # Other crosspoints are unaffected.
+        for output in (1, 2, 3):
+            assert buffer.can_accept(output)
+
+    def test_retire_picks_the_fullest_crosspoint(self):
+        buffer = CrosspointBuffer(8, 4)
+        # Thin crosspoint 2 first, then check ties break low.
+        assert buffer.retire_slot(2) == 2
+        assert buffer.effective_crosspoint_capacity(2) == 1
+        assert buffer.retire_slot() == 0  # all others tied at 2, lowest wins
+        # Every free slot may be retired; only occupied slots are safe.
+        with pytest.raises(FaultError, match="no free slot"):
+            for _ in range(8):
+                buffer.retire_slot()
+        assert buffer.retired_count == 8
+        assert all(not buffer.can_accept(output) for output in range(4))
+
+    def test_snapshot_restore_round_trip(self):
+        buffer = CrosspointBuffer(8, 4)
+        next_id = _fill(buffer, 1, 2)
+        _fill(buffer, 3, 1, next_id)
+        buffer.retire_slot(0)
+        clone = CrosspointBuffer(8, 4)
+        clone.restore_state(buffer.snapshot_state())
+        assert clone.canonical_state() == buffer.canonical_state()
+        assert clone.observable_state() == buffer.observable_state()
+        assert clone.pop(1).packet_id == 0

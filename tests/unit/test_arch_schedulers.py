@@ -1,0 +1,170 @@
+"""Unit tests for the zoo's schedulers and the scheduler registry."""
+
+import pytest
+
+from repro.arch.schedulers import CrosspointScheduler, IterativeScheduler
+from repro.core.packet import Packet
+from repro.core.registry import make_buffer
+from repro.errors import ConfigurationError
+from repro.switch.arbiter import CrossbarArbiter, make_arbiter
+from repro.switch.scheduler import (
+    Scheduler,
+    register_scheduler,
+    scheduler_kinds,
+)
+
+
+def _never_blocked(input_port, output_port, packet):
+    return False
+
+
+def _loaded_buffers(kind, lengths):
+    """Buffers with the given per-(input, output) queue lengths."""
+    num_outputs = len(lengths[0])
+    buffers = []
+    next_id = 0
+    for row in lengths:
+        buffer = make_buffer(kind, 8, num_outputs)
+        for output, count in enumerate(row):
+            for _ in range(count):
+                buffer.push(
+                    Packet(
+                        packet_id=next_id, source=0, destination=output
+                    ),
+                    output,
+                )
+                next_id += 1
+        buffers.append(buffer)
+    return buffers
+
+
+class TestRegistry:
+    def test_make_arbiter_resolves_extensions(self):
+        assert isinstance(make_arbiter("smart", 4, 4), CrossbarArbiter)
+        assert isinstance(make_arbiter("lqf", 4, 4), CrosspointScheduler)
+        assert isinstance(make_arbiter("RR", 4, 4), CrosspointScheduler)
+        islip = make_arbiter("islip4", 4, 4)
+        assert isinstance(islip, IterativeScheduler)
+        assert islip.iterations == 4
+
+    def test_unknown_kind_lists_all_schedulers(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_arbiter("bogus", 4, 4)
+        message = str(excinfo.value)
+        for kind in ("smart", "dumb", "lqf", "rr", "islip"):
+            assert kind in message
+
+    def test_builtin_names_are_reserved(self):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            register_scheduler("smart", lambda ni, no: CrossbarArbiter(ni, no))
+
+    def test_scheduler_kinds_enumeration(self):
+        kinds = scheduler_kinds()
+        assert kinds[:2] == ("smart", "dumb")
+        assert {"lqf", "rr", "islip", "islip1", "islip2", "islip4"} <= set(
+            kinds
+        )
+
+    def test_every_scheduler_is_a_scheduler(self):
+        for kind in scheduler_kinds():
+            assert isinstance(make_arbiter(kind, 4, 4), Scheduler)
+
+
+class TestCrosspointScheduler:
+    def test_lqf_drains_the_longest_queue(self):
+        scheduler = CrosspointScheduler(2, 2, policy="lqf")
+        buffers = _loaded_buffers("CQ", [[1, 0], [2, 0]])
+        grants = scheduler.arbitrate(buffers, _never_blocked)
+        assert [(g.input_port, g.output_port) for g in grants] == [(1, 0)]
+        # Pointer advanced past input 1: on a tie, input 0 now wins.
+        buffers = _loaded_buffers("CQ", [[1, 0], [1, 0]])
+        grants = scheduler.arbitrate(buffers, _never_blocked)
+        assert [(g.input_port, g.output_port) for g in grants] == [(0, 0)]
+
+    def test_rr_rotates_across_inputs(self):
+        scheduler = CrosspointScheduler(3, 1, policy="rr")
+        buffers = _loaded_buffers("CQ", [[2], [2], [2]])
+        order = []
+        for _ in range(3):
+            (grant,) = scheduler.arbitrate(buffers, _never_blocked)
+            order.append(grant.input_port)
+            buffers[grant.input_port].pop(0)
+        assert order == [0, 1, 2]
+
+    def test_outputs_never_contend(self):
+        # Every output picks from its own crosspoint column: one grant
+        # per output per cycle even when one input feeds them all.
+        scheduler = CrosspointScheduler(2, 4, policy="lqf")
+        buffers = _loaded_buffers("CQ", [[1, 1, 1, 1], [0, 0, 0, 0]])
+        grants = scheduler.arbitrate(buffers, _never_blocked)
+        assert sorted(g.output_port for g in grants) == [0, 1, 2, 3]
+        assert all(g.input_port == 0 for g in grants)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            CrosspointScheduler(2, 2, policy="fifo")
+
+    def test_snapshot_restore_round_trip(self):
+        scheduler = CrosspointScheduler(4, 4)
+        buffers = _loaded_buffers("CQ", [[1, 1, 0, 0]] * 4)
+        scheduler.arbitrate(buffers, _never_blocked)
+        state = scheduler.snapshot_state()
+        clone = CrosspointScheduler(4, 4)
+        clone.restore_state(state)
+        assert clone.snapshot_state() == state
+
+
+class TestIterativeScheduler:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="iteration"):
+            IterativeScheduler(2, 2, iterations=0)
+        assert IterativeScheduler(2, 2, iterations=3).kind == "islip3"
+
+    def test_single_read_port_limits_grants(self):
+        scheduler = IterativeScheduler(2, 2, iterations=4)
+        # DAMQ has one read port: an input serves one output per cycle
+        # no matter how many iterations run.
+        buffers = _loaded_buffers("DAMQ", [[2, 2], [0, 0]])
+        grants = scheduler.arbitrate(buffers, _never_blocked)
+        assert len(grants) == 1
+
+    def test_extra_iterations_fill_accept_conflicts(self):
+        # Both outputs want input 0 first; with one iteration the loser
+        # output stays unmatched, a second iteration pairs it with
+        # input 1.  CQ's per-output read ports allow multiple grants.
+        lengths = [[1, 1], [1, 1]]
+        one = IterativeScheduler(2, 2, iterations=1)
+        grants_one = one.arbitrate(
+            _loaded_buffers("CQ", lengths), _never_blocked
+        )
+        two = IterativeScheduler(2, 2, iterations=2)
+        grants_two = two.arbitrate(
+            _loaded_buffers("CQ", lengths), _never_blocked
+        )
+        assert len(grants_one) == 1
+        assert len(grants_two) == 2
+        assert len({g.output_port for g in grants_two}) == 2
+
+    def test_deterministic_given_state(self):
+        lengths = [[1, 0, 1, 0]] * 4
+        first = IterativeScheduler(4, 4)
+        second = IterativeScheduler(4, 4)
+        for _ in range(5):
+            a = first.arbitrate(_loaded_buffers("CQ", lengths), _never_blocked)
+            b = second.arbitrate(
+                _loaded_buffers("CQ", lengths), _never_blocked
+            )
+            assert [(g.input_port, g.output_port) for g in a] == [
+                (g.input_port, g.output_port) for g in b
+            ]
+        assert first.snapshot_state() == second.snapshot_state()
+
+    def test_snapshot_restore_round_trip(self):
+        scheduler = IterativeScheduler(4, 4, iterations=2)
+        buffers = _loaded_buffers("DAMQ", [[1, 1, 1, 1]] * 4)
+        scheduler.arbitrate(buffers, _never_blocked)
+        state = scheduler.snapshot_state()
+        clone = IterativeScheduler(4, 4, iterations=2)
+        clone.restore_state(state)
+        assert clone.snapshot_state() == state
+        assert state["grant_pointers"] != [0, 0, 0, 0]

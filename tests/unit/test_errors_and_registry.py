@@ -6,8 +6,10 @@ from repro.core.registry import (
     BUFFER_TYPES,
     PAPER_ORDER,
     buffer_class,
+    buffer_kinds,
     make_buffer,
     make_buffer_factory,
+    register_buffer_type,
 )
 from repro.errors import (
     BufferEmptyError,
@@ -48,18 +50,46 @@ class TestErrorHierarchy:
 
 
 class TestRegistry:
-    def test_paper_order_covers_all_types(self):
-        assert set(PAPER_ORDER) == set(BUFFER_TYPES)
+    def test_paper_order_registered(self):
+        # The paper's four buffers are always present; extension
+        # architectures (repro.arch) may add more but never shadow them.
+        assert set(PAPER_ORDER) <= set(BUFFER_TYPES)
+        for kind in PAPER_ORDER:
+            assert buffer_class(kind).kind == kind
+
+    def test_buffer_kinds_lists_paper_buffers_first(self):
+        kinds = buffer_kinds()
+        assert kinds[: len(PAPER_ORDER)] == PAPER_ORDER
+        # buffer_kinds() loads the architecture zoo.
+        assert "CQ" in kinds
+        assert "DAMQ-RSV" in kinds
 
     def test_lookup_case_insensitive(self):
         assert buffer_class("damq").kind == "DAMQ"
         assert buffer_class("Fifo").kind == "FIFO"
+        assert buffer_class("cq").kind == "CQ"
+        assert buffer_class("damq-rsv").kind == "DAMQ-RSV"
 
     def test_unknown_kind(self):
         with pytest.raises(ConfigurationError):
             buffer_class("VOQ")
 
-    @pytest.mark.parametrize("kind", sorted(BUFFER_TYPES))
+    def test_unknown_kind_lists_available_architectures(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            buffer_class("VOQ")
+        message = str(excinfo.value)
+        for kind in (*PAPER_ORDER, "CQ", "DAMQ-RSV"):
+            assert kind in message
+
+    def test_register_rejects_rebinding(self):
+        from repro.core.damq import DamqBuffer
+        from repro.core.fifo import FifoBuffer
+
+        register_buffer_type("DAMQ", DamqBuffer)  # idempotent no-op
+        with pytest.raises(ConfigurationError):
+            register_buffer_type("DAMQ", FifoBuffer)
+
+    @pytest.mark.parametrize("kind", buffer_kinds())
     def test_make_buffer_constructs_each(self, kind):
         buffer = make_buffer(kind, capacity=4, num_outputs=4)
         assert buffer.kind == kind

@@ -127,6 +127,51 @@ class TestUnsupportedReason:
         assert reason is not None and fragment in reason
 
 
+class TestArchZooGating:
+    """The ``repro.arch`` architectures stay on the reference kernel."""
+
+    ARCH = dict(slots_per_buffer=8, **QUICK)
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            (dict(buffer_kind="CQ", arbiter_kind="lqf"), "'CQ'"),
+            (dict(buffer_kind="DAMQ-RSV"), "'DAMQ-RSV'"),
+            (dict(buffer_kind="DAMQ", arbiter_kind="islip2"), "'islip2'"),
+        ],
+    )
+    def test_unsupported_reason_names_the_kind(self, overrides, fragment):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        reason = numpy_unsupported_reason(
+            NetworkConfig(**overrides, **self.ARCH)
+        )
+        assert reason is not None and fragment in reason
+
+    def test_forced_numpy_rejects_arch_buffers(self):
+        pytest.importorskip("numpy")
+        config = NetworkConfig(buffer_kind="CQ", **self.ARCH)
+        with pytest.raises(ConfigurationError, match="CQ"):
+            make_kernel(config, "numpy")
+        with pytest.raises(ConfigurationError, match="CQ"):
+            resolve_backend(config, "numpy")
+
+    def test_soft_preference_falls_back_to_reference(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        arch = NetworkConfig(buffer_kind="DAMQ-RSV", **self.ARCH)
+        assert resolve_backend(arch) == "reference"
+        paper = NetworkConfig(buffer_kind="DAMQ", **self.ARCH)
+        assert resolve_backend(paper) == "numpy"
+
+    def test_reference_kernel_runs_arch_buffers(self):
+        config = NetworkConfig(
+            buffer_kind="CQ", arbiter_kind="lqf", **self.ARCH
+        )
+        result = make_kernel(config, "reference").run(20, 60)
+        assert result.buffer_kind == "CQ"
+
+
 class TestMakeKernel:
     def test_reference_kernel_runs_and_matches_simulator(self):
         from repro.network.simulator import simulate

@@ -235,6 +235,44 @@ class TestPortBudget:
         )
 
 
+class TestArchZooAdoption:
+    def test_reserved_damq_adoption_sanitizes_its_slot_manager(self):
+        from repro.arch import DamqReservedBuffer
+
+        sanitizer = HardwareSanitizer()
+        buffer = sanitizer.adopt_buffer(
+            DamqReservedBuffer(8, 4, reserved=1), label="rsv0"
+        )
+        assert isinstance(buffer._lists, SanitizedSlotListManager)
+        for cycle in range(4):
+            sanitizer.begin_cycle(cycle)
+            buffer.push(packet(cycle, destination=cycle), cycle)
+        sanitizer.scan()
+        assert sanitizer.clean
+
+    def test_crosspoint_read_ports_are_per_output(self):
+        from repro.arch import CrosspointBuffer
+
+        sanitizer = HardwareSanitizer()
+        buffer = sanitizer.adopt_buffer(CrosspointBuffer(8, 4), label="cq0")
+        for cycle in range(4):
+            sanitizer.begin_cycle(cycle)
+            buffer.push(packet(cycle, destination=cycle), cycle)
+        # Every crosspoint has its own read port: four pops in one cycle
+        # are legal...
+        sanitizer.begin_cycle(10)
+        for output in range(4):
+            buffer.pop(output)
+        assert sanitizer.clean
+        # ...but the pool still has one write port, so refilling all four
+        # crosspoints in a single cycle is an overrun.
+        sanitizer.begin_cycle(20)
+        for output in range(4):
+            buffer.push(packet(10 + output, destination=output), output)
+        assert not sanitizer.clean
+        assert sanitizer.violations[0].kind == "write-port-overrun"
+
+
 class TestReporting:
     def test_assert_clean_raises_with_full_report(self):
         sanitizer, manager = make_manager()

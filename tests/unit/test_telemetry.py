@@ -348,3 +348,95 @@ class TestChipAdoption:
         session.adopt_chip(chip)
         session.adopt_chip(chip)
         assert len(session.metrics.counters("chip_packets_sent_total")) == 5
+
+
+class TestArchZooTracing:
+    """Telemetry adoption generalizes to the architecture-zoo classes."""
+
+    def test_adopt_arbiter_covers_the_scheduler_zoo(self):
+        from repro.arch.schedulers import (
+            CrosspointScheduler,
+            IterativeScheduler,
+        )
+        from repro.telemetry.session import (
+            TracedCrosspointScheduler,
+            TracedIterativeScheduler,
+        )
+
+        session = TraceSession()
+        lqf = session.adopt_arbiter(CrosspointScheduler(2, 2), "sw0")
+        islip = session.adopt_arbiter(
+            IterativeScheduler(2, 2, iterations=2), "sw1"
+        )
+        assert isinstance(lqf, TracedCrosspointScheduler)
+        assert isinstance(islip, TracedIterativeScheduler)
+        # Re-adoption is a no-op on the same live object.
+        assert session.adopt_arbiter(lqf, "sw0") is lqf
+
+    def test_unknown_scheduler_subclass_rejected(self):
+        from repro.switch.scheduler import Scheduler
+
+        class Custom(Scheduler):
+            def __init__(self):
+                self.num_inputs = 2
+                self.num_outputs = 2
+
+            @property
+            def kind(self):
+                return "custom"
+
+            def arbitrate(self, buffers, blocked, lengths=None):
+                return []
+
+            def snapshot_state(self):
+                return {}
+
+            def restore_state(self, state):
+                pass
+
+        session = TraceSession()
+        with pytest.raises(ConfigurationError, match="cannot trace arbiter"):
+            session.adopt_arbiter(Custom(), "bad")
+
+    def test_traced_scheduler_records_grants_and_denies(self):
+        from repro.arch.schedulers import CrosspointScheduler
+        from repro.core.packet import Packet
+        from repro.core.registry import make_buffer
+
+        session = TraceSession()
+        scheduler = session.adopt_arbiter(CrosspointScheduler(2, 2), "sw0")
+        buffers = [make_buffer("CQ", 8, 2), make_buffer("CQ", 8, 2)]
+        for input_port, buffer in enumerate(buffers):
+            buffer.push(
+                Packet(packet_id=input_port, source=0, destination=0), 0
+            )
+        grants = scheduler.arbitrate(buffers, lambda i, o, p: False)
+        # Both inputs contend for output 0: one grant, one deny.
+        assert len(grants) == 1
+        assert session.metrics.value("arbiter_grants_total") == 1
+        assert session.metrics.value("arbiter_denies_total") == 1
+        kinds = {event.kind for event in session.ring}
+        assert {"grant", "deny"} <= kinds
+
+    def test_arch_buffers_are_traceable(self):
+        from repro.arch import CrosspointBuffer, DamqReservedBuffer
+        from repro.core.packet import Packet
+        from repro.telemetry.session import (
+            TracedCrosspointBuffer,
+            TracedDamqReservedBuffer,
+            TracedSlotListManager,
+        )
+
+        session = TraceSession()
+        reserved = session.adopt_buffer(
+            DamqReservedBuffer(8, 4, reserved=1), "rsv0"
+        )
+        crosspoint = session.adopt_buffer(CrosspointBuffer(8, 4), "cq0")
+        assert isinstance(reserved, TracedDamqReservedBuffer)
+        assert isinstance(crosspoint, TracedCrosspointBuffer)
+        # The reserved DAMQ inherits the slot-manager adoption path.
+        assert isinstance(reserved._lists, TracedSlotListManager)
+        crosspoint.push(Packet(packet_id=0, source=0, destination=2), 2)
+        assert crosspoint.pop(2).packet_id == 0
+        assert session.metrics.value("buffer_enqueues_total") == 1
+        assert session.metrics.value("buffer_dequeues_total") == 1
